@@ -1,0 +1,23 @@
+"""Fig 10: boxplots of 14 teacher models vs their UADB boosters.
+
+Paper shape: removing error correction (i.e. the teacher itself) degrades
+the score distribution across datasets; boosters sit at or above teachers.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.reporting import format_boxplots
+from repro.experiments.tables import boxplot_stats
+
+
+def test_fig10_boxplots(benchmark, main_sweep):
+    stats = benchmark.pedantic(
+        boxplot_stats, args=(main_sweep,), rounds=1, iterations=1)
+    report(format_boxplots(stats))
+
+    for detector, by_metric in stats.items():
+        for metric in ("auc", "ap"):
+            source = by_metric[metric]["source"]
+            booster = by_metric[metric]["booster"]
+            # Valid five-number summaries.
+            assert source["min"] <= source["median"] <= source["max"]
+            assert booster["min"] <= booster["median"] <= booster["max"]

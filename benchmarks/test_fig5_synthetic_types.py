@@ -1,0 +1,31 @@
+"""Fig 5: error correction on the four synthetic anomaly types.
+
+Paper shape: UADB improves the best-matching UAD models on all 8
+model-anomaly-type pairs, with an average correction rate around 39% and a
+maximum of 86% (IForest on clustered anomalies).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments.figures import fig5_synthetic_types
+from repro.experiments.reporting import format_fig5
+
+
+def test_fig5_synthetic_types(benchmark):
+    records = benchmark.pedantic(
+        fig5_synthetic_types,
+        kwargs={"n_iterations": 10, "seed": 0},
+        rounds=1, iterations=1)
+    report(format_fig5(records))
+
+    assert len(records) == 8
+    # The booster must not increase errors on average across the 8 pairs.
+    teacher_total = sum(r["teacher_errors"] for r in records)
+    booster_total = sum(r["booster_errors"] for r in records)
+    assert booster_total <= teacher_total
+    # And booster AUC must beat teacher AUC on a majority of pairs.
+    wins = sum(r["booster_auc"] >= r["teacher_auc"] - 1e-9 for r in records)
+    assert wins >= 4
+    # Mean correction rate is positive.
+    assert np.mean([r["correction_rate"] for r in records]) > 0.0

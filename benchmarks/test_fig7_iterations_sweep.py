@@ -1,0 +1,26 @@
+"""Fig 7: booster AUCROC as a function of the number of UADB iterations.
+
+Paper shape: performance rises during the first iterations and stabilises
+by T ~ 10 for most models, which is why the paper fixes T = 10.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments.figures import fig7_iteration_curves
+from repro.experiments.reporting import format_fig7
+
+
+def test_fig7_iterations_sweep(benchmark, main_sweep):
+    curves = benchmark.pedantic(
+        fig7_iteration_curves, args=(main_sweep,), rounds=1, iterations=1)
+    report(format_fig7(curves))
+
+    assert len(curves) >= 10  # all (or nearly all) of the 14 models
+    for detector, c in curves.items():
+        series = np.asarray(c["per_iteration_auc"])
+        assert series.size >= 5
+        # Stabilisation: the last two iterations differ by little.
+        assert abs(series[-1] - series[-2]) < 0.05
+        # The curve must not collapse over iterations.
+        assert series[-1] >= series[0] - 0.05

@@ -1,0 +1,35 @@
+"""Fig 8: booster AUCROC vs number of MLP layers.
+
+Paper shape: UADB is stable w.r.t. booster depth — curves for 2-5 layers
+are nearly flat.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments.figures import fig8_layer_sweep
+from repro.experiments.reporting import format_table
+
+LAYERS = (2, 3, 4, 5)
+MODELS = ("IForest", "HBOS", "LOF")
+DATASETS = ("cardio", "glass", "thyroid")
+
+
+def test_fig8_layers_sweep(benchmark):
+    out = benchmark.pedantic(
+        fig8_layer_sweep,
+        kwargs={"layers": LAYERS, "detectors": MODELS,
+                "datasets": DATASETS, "n_iterations": 5,
+                "max_samples": 400, "max_features": 24},
+        rounds=1, iterations=1)
+
+    rows = [[str(n)] + [f"{out[n][m]:.3f}" for m in MODELS]
+            for n in LAYERS]
+    report(format_table(["MLP layers"] + list(MODELS), rows,
+                        title="[Fig 8] booster AUCROC vs MLP depth"))
+
+    # Stability: per model, the spread across depths is small.
+    for model in MODELS:
+        values = np.array([out[n][model] for n in LAYERS])
+        assert values.max() - values.min() < 0.12, (
+            f"{model} unstable across depths: {values}")

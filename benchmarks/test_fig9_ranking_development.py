@@ -1,0 +1,43 @@
+"""Fig 9: development of TP/TN/FP/FN mean ranks across UADB iterations.
+
+Paper shape (LOF on landsat / optdigits / satellite, T = 20): TP keeps a
+high rank while FP sinks; FN rises relative to TN — the rank gap between
+correct and incorrect teacher decisions widens over iterations.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.figures import fig9_ranking_development
+from repro.experiments.reporting import format_table
+
+DATASETS = ("landsat", "optdigits", "satellite")
+
+
+def test_fig9_ranking_development(benchmark):
+    out = benchmark.pedantic(
+        fig9_ranking_development,
+        kwargs={"dataset_names": DATASETS, "detector": "LOF",
+                "n_iterations": 20, "max_samples": 400, "max_features": 24},
+        rounds=1, iterations=1)
+
+    rows = []
+    for name, cell in out.items():
+        for case in ("TP", "FP", "FN", "TN"):
+            series = cell["mean_ranks"][case]
+            first = series[0]
+            last = series[-1]
+            rows.append([name, case, str(cell["case_counts"][case]),
+                         f"{first:.1f}" if first == first else "-",
+                         f"{last:.1f}" if last == last else "-"])
+        rows.append([name, "AUC", "-", f"{cell['auc'][0]:.3f}",
+                     f"{cell['auc'][-1]:.3f}"])
+    report(format_table(
+        ["Dataset", "Case", "Count", "Iter 1", "Iter 20"], rows,
+        title="[Fig 9] mean rank development (LOF booster, T=20)"))
+
+    for name, cell in out.items():
+        ranks = cell["mean_ranks"]
+        # TP must outrank TN throughout (right decisions preserved).
+        if ranks["TP"][-1] == ranks["TP"][-1] and \
+                ranks["TN"][-1] == ranks["TN"][-1]:
+            assert ranks["TP"][-1] > ranks["TN"][-1]
+        assert len(cell["auc"]) == 20

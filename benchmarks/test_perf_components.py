@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the core computational components.
+
+Not tied to a specific paper table; these keep the substrate honest about
+cost (detector fits, booster rounds, variance updates) and give
+pytest-benchmark real multi-round timing data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import FoldEnsemble
+from repro.core.variance import variance_history
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_anomaly_dataset
+from repro.detectors.registry import make_detector
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = make_anomaly_dataset("local", n_inliers=450, n_anomalies=50,
+                              n_features=16, random_state=0)
+    return StandardScaler().fit_transform(ds.X)
+
+
+@pytest.mark.parametrize("name", ["IForest", "HBOS", "LOF", "KNN", "ECOD",
+                                  "GMM", "COPOD", "LODA"])
+def test_detector_fit_speed(benchmark, data, name):
+    def fit():
+        return make_detector(name, random_state=0).fit(data)
+
+    detector = benchmark(fit)
+    assert detector.decision_scores_.shape == (500,)
+
+
+def test_booster_round_speed(benchmark, data):
+    ens = FoldEnsemble(min_steps_per_round=50, first_round_steps=50,
+                       random_state=0).initialize(data)
+    pseudo = np.random.default_rng(0).uniform(size=data.shape[0])
+    benchmark(ens.train_round, data, pseudo)
+
+
+def test_variance_update_speed(benchmark):
+    rng = np.random.default_rng(0)
+    labels = rng.uniform(size=(5000, 11))
+    student = rng.uniform(size=(5000, 3))
+    result = benchmark(variance_history, labels, student)
+    assert result.shape == (5000,)

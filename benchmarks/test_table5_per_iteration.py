@@ -1,0 +1,32 @@
+"""Table V: per-iteration booster performance on example datasets.
+
+Paper shape: for representative teachers (IForest, HBOS, LOF, KNN) the
+booster's AUCROC/AP on showcase datasets grows across iterations 2 -> 10
+and ends above the teacher.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.reporting import format_table5
+from repro.experiments.tables import table5_per_iteration
+
+DETECTORS = ("IForest", "HBOS", "LOF", "KNN")
+DATASETS = ("vowels", "satellite", "optdigits", "PageBlocks", "thyroid")
+
+
+def test_table5_per_iteration(benchmark):
+    table = benchmark.pedantic(
+        table5_per_iteration,
+        kwargs={"detectors": DETECTORS, "datasets": DATASETS,
+                "n_iterations": 10, "max_samples": 400, "max_features": 24},
+        rounds=1, iterations=1)
+    report(format_table5(table))
+
+    improvements = []
+    for det, by_dataset in table.items():
+        for ds, cell in by_dataset.items():
+            improvements.append(cell["auc"]["improvement"])
+            # Iterations are recorded at 2, 4, 6, 8, 10.
+            assert len(cell["auc"]["iterations"]) == 5
+    # Booster ends above the teacher on a fair share of showcase cells.
+    wins = sum(i > -0.01 for i in improvements)
+    assert wins >= len(improvements) // 2

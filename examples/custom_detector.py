@@ -1,0 +1,59 @@
+"""Boost a user-defined detector: UADB only needs anomaly scores.
+
+This example defines a deliberately naive detector (distance to the data
+mean — a poor assumption for multi-cluster data) and shows that (a) it
+plugs into the BaseDetector API in a few lines and (b) UADB can still
+work with it, because the booster is model-agnostic.
+
+Run:  python examples/custom_detector.py
+"""
+
+import numpy as np
+
+from repro.core import UADBooster
+from repro.data import make_anomaly_dataset
+from repro.data.preprocessing import StandardScaler
+from repro.detectors import BaseDetector
+from repro.experiments.diagnostics import correction_summary, label_movement
+from repro.metrics import auc_roc
+
+
+class MeanDistanceDetector(BaseDetector):
+    """Toy detector: anomaly score = Euclidean distance to the data mean.
+
+    Works when the data is one blob; fails when inliers form several
+    clusters (cluster fringes look anomalous, central anomalies do not).
+    """
+
+    def _fit(self, X):
+        self._mean = X.mean(axis=0)
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        return np.linalg.norm(X - self._mean, axis=1)
+
+
+def main():
+    data = make_anomaly_dataset("local", n_inliers=700, n_anomalies=80,
+                                n_features=5, n_clusters=3, random_state=1)
+    X = StandardScaler().fit_transform(data.X)
+
+    source = MeanDistanceDetector().fit(X)
+    print(f"custom detector AUCROC : "
+          f"{auc_roc(data.y, source.fit_scores()):.4f}")
+
+    booster = UADBooster(random_state=0).fit(X, source)
+    print(f"UADB booster AUCROC    : {auc_roc(data.y, booster.scores_):.4f}")
+
+    # Diagnostics: where did the corrections go?
+    movement = label_movement(booster.history_)
+    summary = correction_summary(booster.history_, data.y)
+    print(f"pseudo-labels promoted : {movement['n_promoted']}, "
+          f"demoted: {movement['n_demoted']}")
+    print(f"teacher errors         : {summary['n_errors_initial']}, "
+          f"corrected: {summary['n_corrected']}, "
+          f"corrupted: {summary['n_corrupted']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Export benchmark stand-ins to .npz / .csv for use with other tools.
+
+Run:  python examples/export_datasets.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.data import load_dataset
+from repro.data.io import dataset_to_csv, save_dataset
+
+DATASETS = ("glass", "cardio", "thyroid")
+
+
+def main():
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("exported")
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name in DATASETS:
+        ds = load_dataset(name, max_samples=600, max_features=32)
+        npz = save_dataset(ds, outdir / name)
+        csv = dataset_to_csv(ds, outdir / name)
+        print(f"{name:10s} n={ds.n_samples:4d} d={ds.n_features:2d} "
+              f"anomalies={ds.n_anomalies:3d} -> {npz.name}, {csv.name}")
+
+
+if __name__ == "__main__":
+    main()

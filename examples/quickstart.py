@@ -1,0 +1,44 @@
+"""Quickstart: boost an Isolation Forest with UADB in ~20 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import UADBooster
+from repro.data import make_anomaly_dataset
+from repro.data.preprocessing import StandardScaler
+from repro.detectors import IForest
+from repro.metrics import auc_roc, average_precision
+
+
+def main():
+    # 1. A dataset with "local" anomalies (same region as inliers, wrong
+    #    local density) — ground truth is used only for evaluation.
+    data = make_anomaly_dataset("local", n_inliers=900, n_anomalies=100,
+                                n_features=6, random_state=0)
+    X = StandardScaler().fit_transform(data.X)
+
+    # 2. Fit any unsupervised detector.  UADB never looks inside it; it
+    #    only needs the anomaly scores.
+    source = IForest(random_state=0).fit(X)
+    source_scores = source.fit_scores()
+
+    # 3. Boost it: iterative pseudo-supervised distillation with
+    #    variance-based error correction (paper defaults: T=10, 3-fold MLP
+    #    ensemble with 128 hidden units).
+    booster = UADBooster(random_state=0).fit(X, source)
+
+    print("Isolation Forest (source model)")
+    print(f"  AUCROC = {auc_roc(data.y, source_scores):.4f}")
+    print(f"  AP     = {average_precision(data.y, source_scores):.4f}")
+    print("UADB booster")
+    print(f"  AUCROC = {auc_roc(data.y, booster.scores_):.4f}")
+    print(f"  AP     = {average_precision(data.y, booster.scores_):.4f}")
+
+    # 4. The booster scores new data too.
+    new_scores = booster.score_samples(X[:5])
+    print("scores of the first five samples:",
+          [f"{s:.3f}" for s in new_scores])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The paper's Fig 5 scenario: four anomaly types, matched detectors.
+
+For each canonical anomaly type (clustered / global / local / dependency)
+we fit the two UAD models the paper pairs with it, boost each with UADB,
+and report error counts and the correction rate.
+
+Run:  python examples/synthetic_anomaly_types.py
+"""
+
+from repro.experiments.figures import fig5_synthetic_types
+from repro.experiments.reporting import format_fig5
+
+
+def main():
+    records = fig5_synthetic_types(n_iterations=10, seed=0,
+                                   n_inliers=450, n_anomalies=50)
+    print(format_fig5(records))
+
+    print()
+    print("Reading the table: the teacher column counts misclassified")
+    print("instances at the contamination threshold; the booster column is")
+    print("the same count for the UADB booster.  The correction rate is")
+    print("the share of the teacher's errors the booster fixed.")
+
+
+if __name__ == "__main__":
+    main()

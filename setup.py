@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Metadata lives in pyproject.toml; this file lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` code path when PEP 660 editable
+builds are unavailable (no ``bdist_wheel`` command offline).
+"""
+
+from setuptools import setup
+
+setup()

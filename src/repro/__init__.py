@@ -1,0 +1,41 @@
+"""repro — a full reproduction of UADB (Unsupervised Anomaly Detection
+Booster, ICDE 2023) with every substrate implemented from scratch.
+
+Public API highlights
+---------------------
+* :class:`repro.core.UADBooster` — the booster (Algorithm 1).
+* :mod:`repro.detectors` — the 14 source UAD models the paper evaluates.
+* :mod:`repro.data` — synthetic anomaly-type generators and the 84-dataset
+  benchmark registry.
+* :mod:`repro.metrics` — AUCROC / AP / Wilcoxon.
+* :mod:`repro.experiments` — harness + per-table/figure reproduction.
+
+Quickstart
+----------
+>>> from repro.data import make_anomaly_dataset
+>>> from repro.detectors import IForest
+>>> from repro.core import UADBooster
+>>> data = make_anomaly_dataset("local", random_state=0)
+>>> source = IForest(random_state=0).fit(data.X)
+>>> booster = UADBooster(random_state=0).fit(data.X, source)
+>>> booster.scores_  # boosted anomaly scores in [0, 1]
+"""
+
+from repro.core import UADBooster
+from repro.data import Dataset, load_dataset, make_anomaly_dataset
+from repro.detectors import DETECTOR_NAMES, make_detector
+from repro.metrics import auc_roc, average_precision
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UADBooster",
+    "Dataset",
+    "load_dataset",
+    "make_anomaly_dataset",
+    "DETECTOR_NAMES",
+    "make_detector",
+    "auc_roc",
+    "average_precision",
+    "__version__",
+]

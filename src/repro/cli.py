@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list-models            the 14 paper models + the extra baselines
+list-datasets          the 84-dataset registry with Table III statistics
+boost                  fit one detector + UADB booster on one dataset
+sweep                  Table IV protocol over a model/dataset grid
+variance               the Fig 2 variance-gap analysis
+export                 write a registry stand-in to .npz / .csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.preprocessing import StandardScaler
+from repro.data.registry import DATASET_NAMES, dataset_specs, load_dataset
+from repro.detectors.registry import (
+    ALL_DETECTOR_NAMES,
+    DETECTOR_NAMES,
+    EXTRA_DETECTOR_NAMES,
+    make_detector,
+)
+from repro.metrics.ranking import auc_roc, average_precision
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UADB (ICDE 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list available detectors")
+
+    p = sub.add_parser("list-datasets", help="list the benchmark registry")
+    p.add_argument("--category", default=None,
+                   help="filter by Table III category")
+
+    p = sub.add_parser("boost", help="boost one detector on one dataset")
+    p.add_argument("detector", choices=ALL_DETECTOR_NAMES)
+    p.add_argument("dataset", choices=DATASET_NAMES, metavar="dataset")
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--max-samples", type=int, default=600)
+    p.add_argument("--max-features", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sweep", help="Table IV protocol on a grid")
+    p.add_argument("--models", nargs="+", default=list(DETECTOR_NAMES))
+    p.add_argument("--datasets", nargs="+", required=True)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--max-samples", type=int, default=400)
+    p.add_argument("--max-features", type=int, default=24)
+    p.add_argument("--seeds", nargs="+", type=int, default=[0])
+
+    p = sub.add_parser("variance", help="Fig 2 variance-gap analysis")
+    p.add_argument("--datasets", nargs="+", default=None)
+    p.add_argument("--max-samples", type=int, default=400)
+
+    p = sub.add_parser("export", help="export a stand-in dataset")
+    p.add_argument("dataset", choices=DATASET_NAMES, metavar="dataset")
+    p.add_argument("path")
+    p.add_argument("--format", choices=("npz", "csv"), default="npz")
+    p.add_argument("--max-samples", type=int, default=1200)
+    p.add_argument("--max-features", type=int, default=64)
+    return parser
+
+
+def _cmd_list_models(args, out) -> int:
+    out.write("paper models (Table IV):\n")
+    for name in DETECTOR_NAMES:
+        out.write(f"  {name}\n")
+    out.write("extra baselines:\n")
+    for name in EXTRA_DETECTOR_NAMES:
+        out.write(f"  {name}\n")
+    return 0
+
+
+def _cmd_list_datasets(args, out) -> int:
+    specs = dataset_specs(args.category)
+    out.write(f"{'name':<20s} {'anomaly %':>9s} {'n':>8s} {'d':>6s} "
+              f"category\n")
+    for spec in specs:
+        out.write(
+            f"{spec.name:<20s} {spec.anomaly_rate * 100:>8.2f}% "
+            f"{spec.n_samples:>8d} {spec.n_features:>6d} {spec.category}\n"
+        )
+    out.write(f"{len(specs)} datasets\n")
+    return 0
+
+
+def _cmd_boost(args, out) -> int:
+    from repro.core import UADBooster
+
+    dataset = load_dataset(args.dataset, max_samples=args.max_samples,
+                           max_features=args.max_features)
+    X = StandardScaler().fit_transform(dataset.X)
+    detector = make_detector(args.detector, random_state=args.seed)
+    detector.fit(X)
+    scores = detector.fit_scores()
+    booster = UADBooster(n_iterations=args.iterations,
+                         random_state=args.seed)
+    booster.fit(X, scores)
+
+    out.write(f"dataset   : {dataset.name} "
+              f"(n={dataset.n_samples}, d={dataset.n_features}, "
+              f"contamination={dataset.contamination:.3f})\n")
+    out.write(f"detector  : {args.detector}  "
+              f"AUCROC={auc_roc(dataset.y, scores):.4f}  "
+              f"AP={average_precision(dataset.y, scores):.4f}\n")
+    out.write(f"UADB      : T={args.iterations}  "
+              f"AUCROC={auc_roc(dataset.y, booster.scores_):.4f}  "
+              f"AP={average_precision(dataset.y, booster.scores_):.4f}\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    from repro.experiments import format_table4, run_grid, table4_summary
+
+    results = run_grid(
+        detectors=tuple(args.models),
+        datasets=tuple(args.datasets),
+        seeds=tuple(args.seeds),
+        n_iterations=args.iterations,
+        max_samples=args.max_samples,
+        max_features=args.max_features,
+        progress=lambda msg: out.write("  " + msg + "\n"),
+    )
+    out.write(format_table4(table4_summary(results)) + "\n")
+    return 0
+
+
+def _cmd_variance(args, out) -> int:
+    from repro.experiments import fig2_variance_gap, format_fig2
+
+    names = tuple(args.datasets) if args.datasets else DATASET_NAMES[::4]
+    info = fig2_variance_gap(dataset_names=names,
+                             max_samples=args.max_samples)
+    out.write(format_fig2(info) + "\n")
+    return 0
+
+
+def _cmd_export(args, out) -> int:
+    from repro.data.io import dataset_to_csv, save_dataset
+
+    dataset = load_dataset(args.dataset, max_samples=args.max_samples,
+                           max_features=args.max_features)
+    if args.format == "npz":
+        path = save_dataset(dataset, args.path)
+    else:
+        path = dataset_to_csv(dataset, args.path)
+    out.write(f"wrote {dataset.n_samples}x{dataset.n_features} "
+              f"({dataset.n_anomalies} anomalies) to {path}\n")
+    return 0
+
+
+_COMMANDS = {
+    "list-models": _cmd_list_models,
+    "list-datasets": _cmd_list_datasets,
+    "boost": _cmd_boost,
+    "sweep": _cmd_sweep,
+    "variance": _cmd_variance,
+    "export": _cmd_export,
+}
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

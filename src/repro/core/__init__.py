@@ -1,0 +1,47 @@
+"""UADB core: the booster, its variance machinery, and ablation variants."""
+
+from repro.core.booster import BoosterHistory, UADBooster
+from repro.core.combination import (
+    aom,
+    average,
+    maximization,
+    moa,
+    normalize_scores,
+)
+from repro.core.ensemble import FoldEnsemble
+from repro.core.labels import self_update, variance_update
+from repro.core.variance import (
+    group_variance_gap,
+    instance_variance,
+    variance_history,
+)
+from repro.core.variants import (
+    VARIANT_CLASSES,
+    DiscrepancyBooster,
+    DiscrepancyStarBooster,
+    NaiveBooster,
+    SelfBooster,
+    make_variant,
+)
+
+__all__ = [
+    "BoosterHistory",
+    "UADBooster",
+    "aom",
+    "average",
+    "maximization",
+    "moa",
+    "normalize_scores",
+    "FoldEnsemble",
+    "self_update",
+    "variance_update",
+    "group_variance_gap",
+    "instance_variance",
+    "variance_history",
+    "VARIANT_CLASSES",
+    "DiscrepancyBooster",
+    "DiscrepancyStarBooster",
+    "NaiveBooster",
+    "SelfBooster",
+    "make_variant",
+]

@@ -1,0 +1,49 @@
+"""Pseudo-label update rules.
+
+UADB's rule (Algorithm 1, line 8) is deliberately minimal: add the variance
+estimate to the current pseudo-labels and min-max rescale into [0, 1].  The
+case analysis in the paper (Table II) shows why this corrects errors: FN
+instances carry anomaly-level variance, so their scores rise relative to TN,
+while FP instances carry inlier-level variance, so theirs fall relative to
+TP after rescaling.
+
+``self_update`` is the Self-Booster alternative (Table VI): replace the
+pseudo-labels by the rescaled student output, with no variance term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.preprocessing import minmax_scale
+
+__all__ = ["variance_update", "self_update"]
+
+
+def _check_pair(y, other, other_name):
+    y = np.asarray(y, dtype=np.float64).ravel()
+    other = np.asarray(other, dtype=np.float64).ravel()
+    if y.shape != other.shape:
+        raise ValueError(
+            f"pseudo_labels and {other_name} must have identical shape, "
+            f"got {y.shape} vs {other.shape}"
+        )
+    if not (np.all(np.isfinite(y)) and np.all(np.isfinite(other))):
+        raise ValueError("inputs contain NaN or infinite values")
+    return y, other
+
+
+def variance_update(pseudo_labels, variances) -> np.ndarray:
+    """UADB update: ``y(t+1) = MinMaxScale(y(t) + v)``."""
+    y, v = _check_pair(pseudo_labels, variances, "variances")
+    if (v < 0).any():
+        raise ValueError("variances must be non-negative")
+    return minmax_scale(y + v)
+
+
+def self_update(student_scores) -> np.ndarray:
+    """Self-Booster update: ``y(t+1) = MinMaxScale(f_B(X))``."""
+    s = np.asarray(student_scores, dtype=np.float64).ravel()
+    if not np.all(np.isfinite(s)):
+        raise ValueError("student_scores contain NaN or infinite values")
+    return minmax_scale(s)

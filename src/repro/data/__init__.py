@@ -1,0 +1,63 @@
+"""Datasets: synthetic anomaly generators, the 84-dataset registry, scalers."""
+
+from repro.data.corruptions import (
+    with_constant_features,
+    with_duplicate_rows,
+    with_extreme_outliers,
+    with_label_noise,
+    with_missing_values_imputed,
+)
+from repro.data.io import (
+    dataset_from_csv,
+    dataset_to_csv,
+    load_dataset_file,
+    save_dataset,
+)
+from repro.data.preprocessing import (
+    KFoldSplitter,
+    MinMaxScaler,
+    StandardScaler,
+    minmax_scale,
+)
+from repro.data.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_specs,
+    load_dataset,
+)
+from repro.data.synthetic import (
+    ANOMALY_TYPES,
+    Dataset,
+    make_anomaly_dataset,
+    make_clustered_anomalies,
+    make_dependency_anomalies,
+    make_global_anomalies,
+    make_local_anomalies,
+)
+
+__all__ = [
+    "with_constant_features",
+    "with_duplicate_rows",
+    "with_extreme_outliers",
+    "with_label_noise",
+    "with_missing_values_imputed",
+    "dataset_from_csv",
+    "dataset_to_csv",
+    "load_dataset_file",
+    "save_dataset",
+    "KFoldSplitter",
+    "MinMaxScaler",
+    "StandardScaler",
+    "minmax_scale",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_specs",
+    "load_dataset",
+    "ANOMALY_TYPES",
+    "Dataset",
+    "make_anomaly_dataset",
+    "make_clustered_anomalies",
+    "make_dependency_anomalies",
+    "make_global_anomalies",
+    "make_local_anomalies",
+]

@@ -1,0 +1,118 @@
+"""Failure-injection utilities for robustness testing.
+
+Real tabular pipelines feed detectors imperfect data.  These helpers apply
+controlled corruptions to a :class:`~repro.data.synthetic.Dataset` so the
+test suite (and users) can check how detectors and the booster degrade:
+
+* :func:`with_duplicate_rows` — exact duplicates (breaks naive LOF k-dist);
+* :func:`with_constant_features` — zero-variance columns;
+* :func:`with_extreme_outliers` — a few wild values in random cells;
+* :func:`with_label_noise` — flipped evaluation labels (metric robustness);
+* :func:`with_missing_values_imputed` — MCAR missingness + mean imputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.utils.rng import check_random_state
+
+__all__ = [
+    "with_duplicate_rows",
+    "with_constant_features",
+    "with_extreme_outliers",
+    "with_label_noise",
+    "with_missing_values_imputed",
+]
+
+
+def _check_fraction(value, name):
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def with_duplicate_rows(dataset: Dataset, fraction: float = 0.1,
+                        random_state=None) -> Dataset:
+    """Append exact copies of randomly chosen rows (labels copied too)."""
+    _check_fraction(fraction, "fraction")
+    rng = check_random_state(random_state)
+    n_dup = round(dataset.n_samples * fraction)
+    if n_dup == 0:
+        return dataset
+    idx = rng.choice(dataset.n_samples, size=n_dup, replace=True)
+    X = np.vstack([dataset.X, dataset.X[idx]])
+    y = np.concatenate([dataset.y, dataset.y[idx]])
+    return Dataset(X, y, name=dataset.name,
+                   metadata={**dataset.metadata, "duplicated": n_dup})
+
+
+def with_constant_features(dataset: Dataset, n_features: int = 1,
+                           value: float = 0.0,
+                           random_state=None) -> Dataset:
+    """Replace ``n_features`` random columns with a constant."""
+    if not 0 <= n_features <= dataset.n_features:
+        raise ValueError(
+            f"n_features must be in [0, {dataset.n_features}]"
+        )
+    rng = check_random_state(random_state)
+    X = dataset.X.copy()
+    cols = rng.choice(dataset.n_features, size=n_features, replace=False)
+    X[:, cols] = value
+    return Dataset(X, dataset.y.copy(), name=dataset.name,
+                   metadata={**dataset.metadata,
+                             "constant_features": sorted(int(c) for c in cols)})
+
+
+def with_extreme_outliers(dataset: Dataset, n_cells: int = 5,
+                          magnitude: float = 1e6,
+                          random_state=None) -> Dataset:
+    """Set ``n_cells`` random cells to an extreme magnitude (sensor glitch)."""
+    if n_cells < 0:
+        raise ValueError(f"n_cells must be >= 0, got {n_cells}")
+    rng = check_random_state(random_state)
+    X = dataset.X.copy()
+    rows = rng.integers(0, dataset.n_samples, size=n_cells)
+    cols = rng.integers(0, dataset.n_features, size=n_cells)
+    signs = rng.choice((-1.0, 1.0), size=n_cells)
+    X[rows, cols] = signs * magnitude
+    return Dataset(X, dataset.y.copy(), name=dataset.name,
+                   metadata={**dataset.metadata, "glitched_cells": n_cells})
+
+
+def with_label_noise(dataset: Dataset, flip_fraction: float = 0.05,
+                     random_state=None) -> Dataset:
+    """Flip a fraction of the evaluation labels (never seen by detectors)."""
+    _check_fraction(flip_fraction, "flip_fraction")
+    rng = check_random_state(random_state)
+    y = dataset.y.copy()
+    n_flip = round(dataset.n_samples * flip_fraction)
+    idx = rng.choice(dataset.n_samples, size=n_flip, replace=False)
+    y[idx] = 1 - y[idx]
+    return Dataset(dataset.X.copy(), y, name=dataset.name,
+                   metadata={**dataset.metadata, "flipped_labels": n_flip})
+
+
+def with_missing_values_imputed(dataset: Dataset, fraction: float = 0.1,
+                                random_state=None) -> Dataset:
+    """MCAR missingness followed by column-mean imputation.
+
+    Mirrors the standard preprocessing applied before UAD in practice;
+    the imputed cells soften feature structure without creating NaNs.
+    """
+    _check_fraction(fraction, "fraction")
+    rng = check_random_state(random_state)
+    X = dataset.X.copy()
+    mask = rng.uniform(size=X.shape) < fraction
+    column_means = X.mean(axis=0)
+    for j in range(X.shape[1]):
+        col_mask = mask[:, j]
+        if col_mask.all():
+            # Keep at least one observed value per column.
+            col_mask[rng.integers(0, X.shape[0])] = False
+        observed_mean = X[~col_mask, j].mean() if (~col_mask).any() \
+            else column_means[j]
+        X[col_mask, j] = observed_mean
+    return Dataset(X, dataset.y.copy(), name=dataset.name,
+                   metadata={**dataset.metadata,
+                             "imputed_fraction": float(mask.mean())})

@@ -1,0 +1,91 @@
+"""Dataset persistence: save/load :class:`Dataset` objects as .npz or .csv.
+
+Lets users export the synthetic stand-ins for use with other tools (or
+import their own tabular data into the harness).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+
+__all__ = ["save_dataset", "load_dataset_file", "dataset_to_csv",
+           "dataset_from_csv"]
+
+
+def save_dataset(dataset: Dataset, path) -> Path:
+    """Save a dataset to a ``.npz`` archive (features, labels, metadata)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        X=dataset.X,
+        y=dataset.y,
+        name=np.array(dataset.name),
+        metadata=np.array(json.dumps(dataset.metadata, default=str)),
+    )
+    return path
+
+
+def load_dataset_file(path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such dataset file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        return Dataset(
+            X=archive["X"],
+            y=archive["y"],
+            name=str(archive["name"]),
+            metadata=metadata,
+        )
+
+
+def dataset_to_csv(dataset: Dataset, path) -> Path:
+    """Export as CSV with feature columns ``f0..fD`` and a ``label`` column."""
+    path = Path(path)
+    if path.suffix != ".csv":
+        path = path.with_suffix(".csv")
+    header = [f"f{j}" for j in range(dataset.n_features)] + ["label"]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row, label in zip(dataset.X, dataset.y):
+            writer.writerow([repr(float(v)) for v in row] + [int(label)])
+    return path
+
+
+def dataset_from_csv(path, name: str | None = None,
+                     label_column: str = "label") -> Dataset:
+    """Read a CSV with numeric feature columns and a binary label column."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such csv file: {path}")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if label_column not in header:
+            raise ValueError(
+                f"csv has no {label_column!r} column; columns: {header}"
+            )
+        label_idx = header.index(label_column)
+        features, labels = [], []
+        for row in reader:
+            if not row:
+                continue
+            labels.append(int(float(row[label_idx])))
+            features.append([float(v) for j, v in enumerate(row)
+                             if j != label_idx])
+    return Dataset(
+        X=np.asarray(features, dtype=np.float64),
+        y=np.asarray(labels, dtype=np.int64),
+        name=name or path.stem,
+        metadata={"source": str(path)},
+    )

@@ -1,0 +1,122 @@
+"""Feature scaling and cross-validation splitting.
+
+The UADB pipeline min-max scales both features and pseudo-labels, and trains
+its booster ensemble with a 3-fold split; these are the exact utilities that
+scikit-learn would otherwise provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["MinMaxScaler", "StandardScaler", "KFoldSplitter", "minmax_scale"]
+
+
+def minmax_scale(values: np.ndarray) -> np.ndarray:
+    """Scale a vector (or each column of a matrix) into [0, 1].
+
+    Constant inputs map to all zeros — the convention UADB relies on when a
+    degenerate pseudo-label vector appears (it then carries no ranking
+    information, and zero is the neutral choice).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    lo = arr.min(axis=0)
+    hi = arr.max(axis=0)
+    span = hi - lo
+    span = np.where(span == 0, 1.0, span)
+    out = (arr - lo) / span
+    return out
+
+
+class MinMaxScaler:
+    """Column-wise min-max scaler with a fit/transform interface."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)):
+        lo, hi = feature_range
+        if hi <= lo:
+            raise ValueError(f"invalid feature_range: {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self.data_min_ = None
+        self.data_max_ = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "data_min_")
+        X = check_array(X)
+        if X.shape[1] != self.data_min_.size:
+            raise ValueError(
+                f"expected {self.data_min_.size} features, got {X.shape[1]}"
+            )
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0, 1.0, span)
+        unit = (X - self.data_min_) / span
+        lo, hi = self.feature_range
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean and unit variance."""
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std == 0, 1.0, std)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_fitted(self, "mean_")
+        X = check_array(X)
+        if X.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected {self.mean_.size} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class KFoldSplitter:
+    """Shuffled k-fold splitter yielding ``(train_idx, test_idx)`` pairs.
+
+    UADB trains three boosters, each on a different 2/3 of the data; this is
+    the standard k-fold partition with ``k=3``.
+    """
+
+    def __init__(self, n_splits: int = 3, random_state=None):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, n_samples: int):
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = check_random_state(self.random_state)
+        indices = np.arange(n_samples)
+        rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = np.sort(folds[i])
+            train_idx = np.sort(
+                np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            )
+            yield train_idx, test_idx

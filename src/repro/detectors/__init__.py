@@ -1,0 +1,65 @@
+"""The 14 source UAD models the paper boosts, plus shared machinery."""
+
+from repro.detectors.abod import ABOD
+from repro.detectors.base import BaseDetector
+from repro.detectors.cblof import CBLOF
+from repro.detectors.cof import COF
+from repro.detectors.copod import COPOD
+from repro.detectors.deepsvdd import DeepSVDD
+from repro.detectors.ecod import ECOD
+from repro.detectors.feature_bagging import FeatureBagging
+from repro.detectors.gmm import GMM, GaussianMixture
+from repro.detectors.hbos import HBOS
+from repro.detectors.iforest import IForest
+from repro.detectors.inne import INNE
+from repro.detectors.kde import KDE
+from repro.detectors.kmeans import KMeans
+from repro.detectors.knn import KNN
+from repro.detectors.loda import LODA
+from repro.detectors.lof import LOF
+from repro.detectors.mcd import MCD
+from repro.detectors.neighbors import kneighbors, pairwise_distances
+from repro.detectors.ocsvm import OCSVM
+from repro.detectors.pca import PCA
+from repro.detectors.registry import (
+    ALL_DETECTOR_NAMES,
+    DETECTOR_CLASSES,
+    DETECTOR_NAMES,
+    EXTRA_DETECTOR_NAMES,
+    make_detector,
+)
+from repro.detectors.sampling import Sampling
+from repro.detectors.sod import SOD
+
+__all__ = [
+    "ABOD",
+    "BaseDetector",
+    "CBLOF",
+    "COF",
+    "COPOD",
+    "DeepSVDD",
+    "ECOD",
+    "GMM",
+    "GaussianMixture",
+    "HBOS",
+    "IForest",
+    "KMeans",
+    "KNN",
+    "LODA",
+    "LOF",
+    "OCSVM",
+    "PCA",
+    "SOD",
+    "FeatureBagging",
+    "INNE",
+    "KDE",
+    "MCD",
+    "Sampling",
+    "ALL_DETECTOR_NAMES",
+    "DETECTOR_CLASSES",
+    "DETECTOR_NAMES",
+    "EXTRA_DETECTOR_NAMES",
+    "make_detector",
+    "kneighbors",
+    "pairwise_distances",
+]

@@ -1,0 +1,76 @@
+"""Angle-Based Outlier Detection (Kriegel et al., 2008) — fast variant.
+
+For every point, consider the angles it forms with pairs of other points:
+inliers inside the data cloud see other points in all directions (high
+angle variance), while outliers on the fringe see everything within a
+narrow cone (low variance).  The anomaly score is the negated variance of
+the distance-weighted cosine, computed over the ``n_neighbors`` nearest
+points (the FastABOD approximation, PyOD's default formulation).
+
+Not part of the paper's 14 evaluated models; included because UADB is
+model-agnostic and ABOD is a standard ADBench baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.neighbors import kneighbors
+
+__all__ = ["ABOD"]
+
+
+class ABOD(BaseDetector):
+    """Fast angle-based outlier detector.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        Size of the neighbourhood over which angle pairs are formed.
+    """
+
+    def __init__(self, n_neighbors: int = 10, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        if n_neighbors < 2:
+            raise ValueError(f"n_neighbors must be >= 2, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+        self._X_train = None
+
+    def _effective_k(self) -> int:
+        return min(self.n_neighbors, self._X_train.shape[0] - 1)
+
+    def _abof(self, x: np.ndarray, neighbors: np.ndarray) -> float:
+        """Angle-based outlier factor of ``x`` w.r.t. its neighbours."""
+        diffs = neighbors - x
+        norms_sq = np.einsum("ij,ij->i", diffs, diffs)
+        valid = norms_sq > 1e-24
+        diffs = diffs[valid]
+        norms_sq = norms_sq[valid]
+        k = diffs.shape[0]
+        if k < 2:
+            return 0.0
+        dots = diffs @ diffs.T
+        weight = np.outer(norms_sq, norms_sq)
+        values = dots / weight
+        iu = np.triu_indices(k, 1)
+        pairs = values[iu]
+        return float(np.var(pairs))
+
+    def _fit(self, X):
+        self._X_train = X.copy()
+        k = self._effective_k()
+        _, idx = kneighbors(X, X, k, exclude_self=True)
+        scores = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            # Negate: low angle variance = outlier = high anomaly score.
+            scores[i] = -self._abof(X[i], X[idx[i]])
+        return scores
+
+    def _decision_function(self, X):
+        k = self._effective_k()
+        _, idx = kneighbors(X, self._X_train, k)
+        scores = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            scores[i] = -self._abof(X[i], self._X_train[idx[i]])
+        return scores

@@ -1,0 +1,120 @@
+"""Base class shared by all 14 unsupervised anomaly detectors.
+
+The contract mirrors PyOD's, which the paper uses for every source model:
+
+* :meth:`fit` learns from an unlabelled matrix ``X`` and stores raw anomaly
+  scores of the training data in ``decision_scores_`` (higher = more
+  anomalous);
+* :meth:`decision_function` returns raw scores for arbitrary data (needed
+  for the paper's decision-boundary visualisations, Fig 5);
+* :meth:`score_samples` rescales raw scores into [0, 1] with the training
+  min/max, producing the ``f_S(x) -> [0, 1]`` mapping UADB consumes;
+* :meth:`predict` thresholds by the ``contamination`` rate, like PyOD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_fitted
+
+__all__ = ["BaseDetector"]
+
+
+class BaseDetector:
+    """Abstract unsupervised anomaly detector.
+
+    Subclasses implement ``_fit(X)`` (returning raw training scores) and
+    ``_decision_function(X)`` (raw scores for new data).
+
+    Parameters
+    ----------
+    contamination : float in (0, 0.5]
+        Expected anomaly fraction, used only by :meth:`predict` to set the
+        decision threshold.  Defaults to PyOD's 0.1.
+    """
+
+    def __init__(self, contamination: float = 0.1):
+        if not 0.0 < contamination <= 0.5:
+            raise ValueError(
+                f"contamination must be in (0, 0.5], got {contamination}"
+            )
+        self.contamination = contamination
+        self.decision_scores_ = None
+        self.threshold_ = None
+        self._score_min = None
+        self._score_max = None
+
+    # -- subclass hooks -------------------------------------------------
+    def _fit(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _decision_function(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API -------------------------------------------------------
+    def fit(self, X) -> "BaseDetector":
+        """Fit the detector on unlabelled data."""
+        X = check_array(X, min_samples=2)
+        self._n_features = X.shape[1]
+        scores = np.asarray(self._fit(X), dtype=np.float64).ravel()
+        if scores.shape[0] != X.shape[0]:
+            raise RuntimeError(
+                f"{type(self).__name__}._fit returned {scores.shape[0]} "
+                f"scores for {X.shape[0]} samples"
+            )
+        if not np.all(np.isfinite(scores)):
+            raise RuntimeError(
+                f"{type(self).__name__} produced non-finite training scores"
+            )
+        self.decision_scores_ = scores
+        self._score_min = float(scores.min())
+        self._score_max = float(scores.max())
+        self.threshold_ = float(
+            np.quantile(scores, 1.0 - self.contamination)
+        )
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw anomaly scores of ``X`` (higher = more anomalous)."""
+        check_fitted(self, "decision_scores_")
+        X = check_array(X)
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {X.shape[1]}"
+            )
+        scores = np.asarray(self._decision_function(X), dtype=np.float64)
+        return scores.ravel()
+
+    def score_samples(self, X) -> np.ndarray:
+        """Anomaly scores of ``X`` scaled to [0, 1] by the training range.
+
+        Scores outside the training range are clipped; a constant training
+        score vector maps everything to 0.
+        """
+        raw = self.decision_function(X)
+        span = self._score_max - self._score_min
+        if span == 0:
+            return np.zeros_like(raw)
+        return np.clip((raw - self._score_min) / span, 0.0, 1.0)
+
+    def fit_scores(self) -> np.ndarray:
+        """Training-set scores in [0, 1] — UADB's initial pseudo-labels."""
+        check_fitted(self, "decision_scores_")
+        span = self._score_max - self._score_min
+        if span == 0:
+            return np.zeros_like(self.decision_scores_)
+        return (self.decision_scores_ - self._score_min) / span
+
+    def predict(self, X) -> np.ndarray:
+        """Binary labels (1 = anomaly) at the contamination threshold."""
+        check_fitted(self, "threshold_")
+        return (self.decision_function(X) > self.threshold_).astype(np.int64)
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit on ``X`` and return binary training labels."""
+        self.fit(X)
+        return (self.decision_scores_ > self.threshold_).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(contamination={self.contamination})"

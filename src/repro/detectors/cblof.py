@@ -1,0 +1,88 @@
+"""Cluster-Based Local Outlier Factor (He, Xu & Deng, 2003).
+
+The data is clustered with k-means; clusters are split into "large" and
+"small" by the alpha/beta rule from the paper, and every sample is scored by
+its distance to the nearest *large* cluster centroid (samples inside a small
+cluster are scored against large-cluster centroids, making small, isolated
+clusters anomalous).  PyOD defaults: 8 clusters, alpha=0.9, beta=5,
+unweighted distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.kmeans import KMeans
+from repro.detectors.neighbors import pairwise_distances
+
+__all__ = ["CBLOF"]
+
+
+class CBLOF(BaseDetector):
+    """Cluster-based local outlier factor.
+
+    Parameters
+    ----------
+    n_clusters : int
+        k-means cluster count.
+    alpha : float in (0.5, 1)
+        Large clusters must jointly cover at least this data fraction.
+    beta : float > 1
+        Alternative rule: a size ratio >= beta between consecutive clusters
+        (ordered by size) also marks the large/small boundary.
+    use_weights : bool
+        Weight scores by cluster size (PyOD exposes this; default off).
+    """
+
+    def __init__(self, n_clusters: int = 8, alpha: float = 0.9,
+                 beta: float = 5.0, use_weights: bool = False,
+                 contamination: float = 0.1, random_state=None):
+        super().__init__(contamination=contamination)
+        if not 0.5 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0.5, 1), got {alpha}")
+        if beta <= 1.0:
+            raise ValueError(f"beta must be > 1, got {beta}")
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.alpha = alpha
+        self.beta = beta
+        self.use_weights = use_weights
+        self.random_state = random_state
+        self._kmeans = None
+        self._large_centers = None
+        self._large_sizes = None
+
+    def _split_large_small(self, sizes_desc: np.ndarray) -> int:
+        """Index (in descending-size order) of the first *small* cluster."""
+        n = sizes_desc.sum()
+        cumulative = np.cumsum(sizes_desc)
+        for i in range(len(sizes_desc) - 1):
+            covers = cumulative[i] >= self.alpha * n
+            ratio = (sizes_desc[i] / max(sizes_desc[i + 1], 1)) >= self.beta
+            if covers or ratio:
+                return i + 1
+        return len(sizes_desc)
+
+    def _fit(self, X):
+        k = min(self.n_clusters, X.shape[0])
+        self._kmeans = KMeans(n_clusters=k, random_state=self.random_state)
+        self._kmeans.fit(X)
+        labels = self._kmeans.labels_
+        sizes = np.bincount(labels, minlength=k)
+
+        order = np.argsort(-sizes, kind="mergesort")
+        boundary = self._split_large_small(sizes[order])
+        large_clusters = order[:boundary]
+        self._large_centers = self._kmeans.cluster_centers_[large_clusters]
+        self._large_sizes = sizes[large_clusters].astype(np.float64)
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        dists = pairwise_distances(X, self._large_centers)
+        nearest = dists.argmin(axis=1)
+        scores = dists[np.arange(X.shape[0]), nearest]
+        if self.use_weights:
+            scores = scores * self._large_sizes[nearest]
+        return scores

@@ -1,0 +1,103 @@
+"""Deep Support Vector Data Description (Ruff et al., 2018).
+
+One-class deep learning: a neural encoder ``phi`` is trained to map the data
+close to a fixed hypersphere centre ``c`` (the mean of the initial
+embeddings), minimising ``mean ||phi(x) - c||^2``; the anomaly score is the
+squared distance to ``c``.  Per the original paper, the encoder uses no bias
+terms (a bias would allow the trivial constant-map solution).
+
+Built on :mod:`repro.nn`, replacing the paper's PyTorch implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.nn.activations import ReLU
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.training import iterate_minibatches
+from repro.utils.rng import check_random_state, spawn_rng
+
+__all__ = ["DeepSVDD"]
+
+
+class DeepSVDD(BaseDetector):
+    """Deep one-class classification.
+
+    Parameters
+    ----------
+    hidden : tuple of int
+        Widths of the encoder layers (final entry is the embedding size).
+    epochs : int
+        Training epochs.
+    batch_size, lr : training hyper-parameters (Adam).
+    """
+
+    def __init__(self, hidden: tuple = (64, 32), epochs: int = 20,
+                 batch_size: int = 256, lr: float = 1e-3,
+                 contamination: float = 0.1, random_state=None):
+        super().__init__(contamination=contamination)
+        if not hidden:
+            raise ValueError("hidden must contain at least one layer width")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.random_state = random_state
+        self._network = None
+        self._center = None
+        self._input_mean = None
+        self._input_scale = None
+
+    def _build_network(self, d: int, rng) -> Sequential:
+        rngs = spawn_rng(rng, len(self.hidden))
+        layers = []
+        prev = d
+        for i, width in enumerate(self.hidden):
+            # bias=False: with biases the network can collapse to phi(x) = c.
+            layers.append(Dense(prev, width, bias=False, random_state=rngs[i]))
+            if i < len(self.hidden) - 1:
+                layers.append(ReLU())
+            prev = width
+        return Sequential(layers)
+
+    def _fit(self, X):
+        rng = check_random_state(self.random_state)
+        # Internal standardisation keeps optimisation stable regardless of
+        # raw feature scales.
+        self._input_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self._input_scale = np.where(scale == 0, 1.0, scale)
+        Z = (X - self._input_mean) / self._input_scale
+
+        self._network = self._build_network(Z.shape[1], rng)
+        # Centre = mean initial embedding, nudged away from zero coordinates
+        # (zero centre coordinates admit trivial solutions; cf. Ruff et al.).
+        embedding = self._network.forward(Z)
+        center = embedding.mean(axis=0)
+        eps = 0.1
+        small = np.abs(center) < eps
+        center[small] = np.where(center[small] >= 0, eps, -eps)
+        self._center = center
+
+        optimizer = Adam(self._network.params, self._network.grads,
+                         lr=self.lr)
+        n = Z.shape[0]
+        for _ in range(self.epochs):
+            for batch in iterate_minibatches(n, self.batch_size, rng):
+                out = self._network.forward(Z[batch])
+                diff = out - self._center
+                grad = 2.0 * diff / (batch.size * diff.shape[1])
+                self._network.backward(grad)
+                optimizer.step()
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        Z = (X - self._input_mean) / self._input_scale
+        out = self._network.forward(Z)
+        return np.sum((out - self._center) ** 2, axis=1)

@@ -1,0 +1,48 @@
+"""Histogram-Based Outlier Score (Goldstein & Dengel, 2012).
+
+Assumes feature independence: each dimension gets an equal-width histogram,
+and the anomaly score of a sample is the sum over dimensions of
+``log(1 / density)``.  Sparse histogram regions therefore yield high scores.
+PyOD default: 10 bins per feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.histograms import Histogram1D
+
+__all__ = ["HBOS"]
+
+
+class HBOS(BaseDetector):
+    """Histogram-based outlier detector.
+
+    Parameters
+    ----------
+    n_bins : int
+        Bins per feature histogram.
+    contamination : float
+        See :class:`BaseDetector`.
+    """
+
+    def __init__(self, n_bins: int = 10, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        self.n_bins = n_bins
+        self._histograms = None
+
+    def _fit(self, X):
+        self._histograms = [
+            Histogram1D(n_bins=self.n_bins).fit(X[:, j])
+            for j in range(X.shape[1])
+        ]
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        scores = np.zeros(X.shape[0])
+        for j, hist in enumerate(self._histograms):
+            scores += -np.log(hist.density(X[:, j]))
+        return scores

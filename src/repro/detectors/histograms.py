@@ -1,0 +1,63 @@
+"""1-d histogram density estimation shared by HBOS and LODA."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Histogram1D"]
+
+
+class Histogram1D:
+    """Equal-width histogram with out-of-range handling.
+
+    Densities are normalised so the highest bin has density 1; queries left
+    of the first edge or right of the last edge receive a configurable
+    ``outlier_density`` (a small positive value, so log-scores stay finite —
+    the convention HBOS uses).
+    """
+
+    def __init__(self, n_bins: int = 10, outlier_density: float = 1e-9):
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        if outlier_density <= 0:
+            raise ValueError("outlier_density must be positive")
+        self.n_bins = n_bins
+        self.outlier_density = outlier_density
+        self.edges_ = None
+        self.density_ = None
+
+    def fit(self, values: np.ndarray) -> "Histogram1D":
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            raise ValueError("cannot fit a histogram on empty data")
+        lo, hi = float(values.min()), float(values.max())
+        if lo == hi:
+            # Degenerate feature: one bin covering the single value.
+            lo -= 0.5
+            hi += 0.5
+        counts, edges = np.histogram(values, bins=self.n_bins,
+                                     range=(lo, hi))
+        density = counts.astype(np.float64)
+        peak = density.max()
+        if peak > 0:
+            density /= peak
+        # Empty interior bins get the floor density rather than zero.
+        density = np.maximum(density, self.outlier_density)
+        self.edges_ = edges
+        self.density_ = density
+        return self
+
+    def density(self, values: np.ndarray) -> np.ndarray:
+        """Relative density of each query value (max-normalised)."""
+        if self.edges_ is None:
+            raise RuntimeError("Histogram1D is not fitted yet")
+        values = np.asarray(values, dtype=np.float64).ravel()
+        idx = np.searchsorted(self.edges_, values, side="right") - 1
+        # Values exactly at the right edge belong to the last bin.
+        idx = np.where(values == self.edges_[-1], self.n_bins - 1, idx)
+        out = np.full(values.shape, self.outlier_density)
+        valid = (idx >= 0) & (idx < self.n_bins)
+        in_range = (values >= self.edges_[0]) & (values <= self.edges_[-1])
+        take = valid & in_range
+        out[take] = self.density_[idx[take]]
+        return out

@@ -1,0 +1,152 @@
+"""Isolation Forest (Liu, Ting & Zhou, 2008).
+
+Anomalies are "few and different", so random axis-aligned splits isolate
+them in short paths.  The anomaly score is ``2^(-E[h(x)] / c(psi))`` where
+``h`` is the path length over the ensemble and ``c(psi)`` is the average
+path length of an unsuccessful BST search in a sample of size ``psi``.
+
+Defaults match PyOD / the original paper: 100 trees, subsample 256.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.utils.rng import check_random_state
+
+__all__ = ["IForest"]
+
+
+def average_path_length(n) -> np.ndarray:
+    """``c(n)``: expected path length of an unsuccessful BST search."""
+    n = np.asarray(n, dtype=np.float64)
+    out = np.zeros_like(n)
+    big = n > 2
+    harmonic = np.log(np.maximum(n - 1, 1.0)) + np.euler_gamma
+    out[big] = 2.0 * harmonic[big] - 2.0 * (n[big] - 1) / n[big]
+    out[n == 2] = 1.0
+    return out
+
+
+class _IsolationTree:
+    """One isolation tree stored as flat arrays for fast batch traversal."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "size", "_n_nodes")
+
+    def __init__(self, X: np.ndarray, max_depth: int,
+                 rng: np.random.Generator):
+        # Pre-allocate generously: a tree on n points has < 2n nodes.
+        cap = 2 * X.shape[0] + 1
+        self.feature = np.full(cap, -1, dtype=np.int64)
+        self.threshold = np.zeros(cap)
+        self.left = np.full(cap, -1, dtype=np.int64)
+        self.right = np.full(cap, -1, dtype=np.int64)
+        self.size = np.zeros(cap, dtype=np.int64)
+        self._n_nodes = 0
+        self._build(X, np.arange(X.shape[0]), 0, max_depth, rng)
+
+    def _new_node(self) -> int:
+        node = self._n_nodes
+        self._n_nodes += 1
+        return node
+
+    def _build(self, X, idx, depth, max_depth, rng) -> int:
+        node = self._new_node()
+        self.size[node] = idx.size
+        if depth >= max_depth or idx.size <= 1:
+            return node
+        sub = X[idx]
+        lo = sub.min(axis=0)
+        hi = sub.max(axis=0)
+        splittable = np.flatnonzero(hi > lo)
+        if splittable.size == 0:
+            return node
+        feat = int(rng.choice(splittable))
+        thresh = rng.uniform(lo[feat], hi[feat])
+        goes_left = sub[:, feat] < thresh
+        if not goes_left.any() or goes_left.all():
+            return node
+        self.feature[node] = feat
+        self.threshold[node] = thresh
+        self.left[node] = self._build(
+            X, idx[goes_left], depth + 1, max_depth, rng)
+        self.right[node] = self._build(
+            X, idx[~goes_left], depth + 1, max_depth, rng)
+        return node
+
+    def path_lengths(self, X: np.ndarray) -> np.ndarray:
+        """Path length ``h(x)`` for every row, with the c(size) correction
+        for external nodes that still hold multiple points."""
+        n = X.shape[0]
+        depths = np.zeros(n)
+        node_of = np.zeros(n, dtype=np.int64)
+        active = np.arange(n)
+        depth = 0
+        while active.size:
+            nodes = node_of[active]
+            is_leaf = self.feature[nodes] == -1
+            leaves = active[is_leaf]
+            if leaves.size:
+                leaf_nodes = node_of[leaves]
+                depths[leaves] = depth + average_path_length(
+                    self.size[leaf_nodes])
+            active = active[~is_leaf]
+            if not active.size:
+                break
+            nodes = node_of[active]
+            feats = self.feature[nodes]
+            go_left = X[active, feats] < self.threshold[nodes]
+            node_of[active] = np.where(
+                go_left, self.left[nodes], self.right[nodes])
+            depth += 1
+        return depths
+
+
+class IForest(BaseDetector):
+    """Isolation Forest anomaly detector.
+
+    Parameters
+    ----------
+    n_estimators : int
+        Number of isolation trees.
+    max_samples : int
+        Subsample size per tree (capped at the dataset size).
+    contamination : float
+        See :class:`BaseDetector`.
+    random_state : None, int, or Generator
+    """
+
+    def __init__(self, n_estimators: int = 100, max_samples: int = 256,
+                 contamination: float = 0.1, random_state=None):
+        super().__init__(contamination=contamination)
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.random_state = random_state
+        self._trees = None
+        self._psi = None
+
+    def _fit(self, X):
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        psi = min(self.max_samples, n)
+        max_depth = int(np.ceil(np.log2(max(psi, 2))))
+        self._trees = []
+        for _ in range(self.n_estimators):
+            sample = rng.choice(n, size=psi, replace=False)
+            self._trees.append(_IsolationTree(X[sample], max_depth, rng))
+        self._psi = psi
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        depths = np.zeros(X.shape[0])
+        for tree in self._trees:
+            depths += tree.path_lengths(X)
+        mean_depth = depths / len(self._trees)
+        c_psi = float(average_path_length(np.array([self._psi]))[0])
+        c_psi = max(c_psi, 1e-12)
+        return np.power(2.0, -mean_depth / c_psi)

@@ -1,0 +1,98 @@
+"""Lloyd's k-means with k-means++ seeding — the clustering core of CBLOF."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.neighbors import pairwise_distances
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Standard k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters : int
+        Number of centroids.
+    n_init : int
+        Independent restarts; the run with the lowest inertia wins.
+    max_iter : int
+        Lloyd iterations per restart.
+    tol : float
+        Relative centroid-shift tolerance for early stopping.
+    random_state : None, int, or Generator
+    """
+
+    def __init__(self, n_clusters: int = 8, n_init: int = 4,
+                 max_iter: int = 100, tol: float = 1e-4, random_state=None):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_init < 1 or max_iter < 1:
+            raise ValueError("n_init and max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_ = None
+        self.labels_ = None
+        self.inertia_ = None
+
+    def _init_centers(self, X: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding (Arthur & Vassilvitskii, 2007)."""
+        n = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+        for c in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                centers[c:] = X[rng.integers(0, n, size=self.n_clusters - c)]
+                break
+            probs = closest_sq / total
+            centers[c] = X[rng.choice(n, p=probs)]
+            closest_sq = np.minimum(
+                closest_sq, np.sum((X - centers[c]) ** 2, axis=1)
+            )
+        return centers
+
+    def _lloyd(self, X: np.ndarray, centers: np.ndarray):
+        for _ in range(self.max_iter):
+            dists = pairwise_distances(X, centers)
+            labels = dists.argmin(axis=1)
+            new_centers = centers.copy()
+            for c in range(self.n_clusters):
+                members = X[labels == c]
+                if members.shape[0]:
+                    new_centers[c] = members.mean(axis=0)
+            shift = np.linalg.norm(new_centers - centers)
+            centers = new_centers
+            if shift <= self.tol * max(1.0, np.linalg.norm(centers)):
+                break
+        dists = pairwise_distances(X, centers)
+        labels = dists.argmin(axis=1)
+        inertia = float(np.sum(dists[np.arange(X.shape[0]), labels] ** 2))
+        return centers, labels, inertia
+
+    def fit(self, X) -> "KMeans":
+        X = check_array(X, min_samples=self.n_clusters)
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers = self._init_centers(X, rng)
+            centers, labels, inertia = self._lloyd(X, centers)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans is not fitted yet; call fit() first")
+        X = check_array(X)
+        return pairwise_distances(X, self.cluster_centers_).argmin(axis=1)

@@ -1,0 +1,63 @@
+"""k-Nearest-Neighbours outlier detection (Ramaswamy et al., 2000).
+
+The anomaly score of a sample is a statistic of its distances to the ``k``
+nearest training points — by default the distance to the k-th neighbour
+("largest" method, PyOD's default with ``k=5``).  Points far from all
+neighbours are global anomalies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.neighbors import kneighbors
+
+__all__ = ["KNN"]
+
+_METHODS = ("largest", "mean", "median")
+
+
+class KNN(BaseDetector):
+    """Distance-to-neighbours anomaly detector.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        ``k`` in the k-NN distance.
+    method : {'largest', 'mean', 'median'}
+        Statistic of the k neighbour distances used as the score.
+    contamination : float
+        See :class:`BaseDetector`.
+    """
+
+    def __init__(self, n_neighbors: int = 5, method: str = "largest",
+                 contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        self.n_neighbors = n_neighbors
+        self.method = method
+        self._X_train = None
+
+    def _effective_k(self) -> int:
+        # Gracefully degrade on tiny datasets, as PyOD does.
+        return min(self.n_neighbors, self._X_train.shape[0] - 1)
+
+    def _reduce(self, dists: np.ndarray) -> np.ndarray:
+        if self.method == "largest":
+            return dists[:, -1]
+        if self.method == "mean":
+            return dists.mean(axis=1)
+        return np.median(dists, axis=1)
+
+    def _fit(self, X):
+        self._X_train = X.copy()
+        dists, _ = kneighbors(X, X, self._effective_k(), exclude_self=True)
+        return self._reduce(dists)
+
+    def _decision_function(self, X):
+        dists, _ = kneighbors(X, self._X_train, self._effective_k())
+        return self._reduce(dists)

@@ -1,0 +1,65 @@
+"""LODA: Lightweight On-line Detector of Anomalies (Pevny, 2016).
+
+An ensemble of one-dimensional histograms over sparse random projections:
+each projection keeps ``ceil(sqrt(d))`` non-zero Gaussian weights, the
+projected data is histogrammed, and the anomaly score is the average
+negative log density across projections.  PyOD default: 100 random cuts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.histograms import Histogram1D
+from repro.utils.rng import check_random_state
+
+__all__ = ["LODA"]
+
+
+class LODA(BaseDetector):
+    """Lightweight on-line detector of anomalies.
+
+    Parameters
+    ----------
+    n_random_cuts : int
+        Number of sparse random projections.
+    n_bins : int
+        Bins per projection histogram.
+    """
+
+    def __init__(self, n_random_cuts: int = 100, n_bins: int = 10,
+                 contamination: float = 0.1, random_state=None):
+        super().__init__(contamination=contamination)
+        if n_random_cuts < 1:
+            raise ValueError(
+                f"n_random_cuts must be >= 1, got {n_random_cuts}"
+            )
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        self.n_random_cuts = n_random_cuts
+        self.n_bins = n_bins
+        self.random_state = random_state
+        self._projections = None
+        self._histograms = None
+
+    def _fit(self, X):
+        rng = check_random_state(self.random_state)
+        d = X.shape[1]
+        n_nonzero = max(1, int(np.ceil(np.sqrt(d))))
+        self._projections = np.zeros((self.n_random_cuts, d))
+        self._histograms = []
+        for i in range(self.n_random_cuts):
+            features = rng.choice(d, size=n_nonzero, replace=False)
+            self._projections[i, features] = rng.normal(size=n_nonzero)
+            projected = X @ self._projections[i]
+            self._histograms.append(
+                Histogram1D(n_bins=self.n_bins).fit(projected)
+            )
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        scores = np.zeros(X.shape[0])
+        for projection, hist in zip(self._projections, self._histograms):
+            scores += -np.log(hist.density(X @ projection))
+        return scores / self.n_random_cuts

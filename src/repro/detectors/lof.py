@@ -1,0 +1,65 @@
+"""Local Outlier Factor (Breunig et al., 2000).
+
+LOF compares the local reachability density of a point with that of its
+neighbours: a score well above 1 means the point is in a sparser region
+than its neighbourhood — a *local* anomaly.  PyOD default: ``k=20``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.neighbors import kneighbors
+
+__all__ = ["LOF"]
+
+
+class LOF(BaseDetector):
+    """Local outlier factor detector.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        Neighbourhood size ``k``.
+    contamination : float
+        See :class:`BaseDetector`.
+    """
+
+    def __init__(self, n_neighbors: int = 20, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+        self._X_train = None
+        self._k_distances = None
+        self._train_lrd = None
+
+    def _effective_k(self) -> int:
+        return min(self.n_neighbors, self._X_train.shape[0] - 1)
+
+    def _lrd(self, dists: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Local reachability density given neighbour distances/indices.
+
+        reach-dist(p, o) = max(k-distance(o), d(p, o)); lrd is the inverse
+        of the mean reachability distance over the neighbourhood.
+        """
+        reach = np.maximum(self._k_distances[idx], dists)
+        mean_reach = reach.mean(axis=1)
+        return 1.0 / np.maximum(mean_reach, 1e-12)
+
+    def _fit(self, X):
+        self._X_train = X.copy()
+        k = self._effective_k()
+        dists, idx = kneighbors(X, X, k, exclude_self=True)
+        self._k_distances = dists[:, -1]
+        self._train_lrd = self._lrd(dists, idx)
+        neighbor_lrd = self._train_lrd[idx]
+        return neighbor_lrd.mean(axis=1) / np.maximum(self._train_lrd, 1e-12)
+
+    def _decision_function(self, X):
+        k = self._effective_k()
+        dists, idx = kneighbors(X, self._X_train, k)
+        query_lrd = self._lrd(dists, idx)
+        neighbor_lrd = self._train_lrd[idx]
+        return neighbor_lrd.mean(axis=1) / np.maximum(query_lrd, 1e-12)

@@ -1,0 +1,137 @@
+"""One-Class SVM (Scholkopf et al., 1999).
+
+Solves the standard nu-OCSVM dual
+
+    min_a  1/2 a' K a    s.t.  0 <= a_i <= 1/(nu * n),  sum(a) = 1
+
+with an RBF kernel, via projected gradient descent; each iterate is
+projected exactly onto the box-constrained simplex by bisection.  Anomaly
+score is the negated decision function ``rho - sum_i a_i k(x_i, x)`` —
+higher means farther outside the learned support region (PyOD convention).
+
+Training is capped at ``max_train`` points (uniform subsample) so the dense
+kernel matrix stays laptop-sized; this only affects datasets above the cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.neighbors import pairwise_distances
+from repro.utils.rng import check_random_state
+
+__all__ = ["OCSVM"]
+
+
+def _project_box_simplex(v: np.ndarray, upper: float) -> np.ndarray:
+    """Euclidean projection of ``v`` onto {0 <= a <= upper, sum(a) = 1}.
+
+    Solved by bisection on the shift tau in a_i = clip(v_i - tau, 0, upper);
+    sum(a) is non-increasing in tau, so bisection converges.
+    """
+    n = v.size
+    if upper * n < 1.0:
+        raise ValueError("infeasible projection: upper * n < 1")
+    lo = v.min() - upper - 1.0
+    hi = v.max()
+    for _ in range(100):
+        tau = 0.5 * (lo + hi)
+        total = np.clip(v - tau, 0.0, upper).sum()
+        if total > 1.0:
+            lo = tau
+        else:
+            hi = tau
+        if hi - lo < 1e-12:
+            break
+    return np.clip(v - 0.5 * (lo + hi), 0.0, upper)
+
+
+class OCSVM(BaseDetector):
+    """nu-one-class SVM with an RBF kernel.
+
+    Parameters
+    ----------
+    nu : float in (0, 1]
+        Upper bound on the training outlier fraction / lower bound on the
+        support-vector fraction.
+    gamma : float or 'scale'
+        RBF kernel width; ``'scale'`` uses ``1 / (d * var(X))`` like
+        scikit-learn.
+    n_iter : int
+        Projected-gradient iterations.
+    max_train : int
+        Kernel-matrix subsample cap.
+    """
+
+    def __init__(self, nu: float = 0.5, gamma="scale", n_iter: int = 300,
+                 max_train: int = 1000, contamination: float = 0.1,
+                 random_state=None):
+        super().__init__(contamination=contamination)
+        if not 0.0 < nu <= 1.0:
+            raise ValueError(f"nu must be in (0, 1], got {nu}")
+        if n_iter < 1:
+            raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        if max_train < 2:
+            raise ValueError(f"max_train must be >= 2, got {max_train}")
+        self.nu = nu
+        self.gamma = gamma
+        self.n_iter = n_iter
+        self.max_train = max_train
+        self.random_state = random_state
+        self._X_sv = None
+        self._alpha = None
+        self._gamma_value = None
+        self._rho = None
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        d2 = pairwise_distances(A, B) ** 2
+        return np.exp(-self._gamma_value * d2)
+
+    def _fit(self, X):
+        rng = check_random_state(self.random_state)
+        train = X
+        if X.shape[0] > self.max_train:
+            keep = rng.choice(X.shape[0], size=self.max_train, replace=False)
+            train = X[keep]
+        n = train.shape[0]
+
+        if self.gamma == "scale":
+            var = float(X.var())
+            self._gamma_value = 1.0 / (X.shape[1] * max(var, 1e-12))
+        else:
+            if not self.gamma > 0:
+                raise ValueError(f"gamma must be positive, got {self.gamma}")
+            self._gamma_value = float(self.gamma)
+
+        K = self._kernel(train, train)
+        upper = 1.0 / max(self.nu * n, 1.0)
+        # nu * n < 1 would make the box constraint trivially loose; clamp so
+        # the projection stays feasible.
+        upper = max(upper, 1.0 / n)
+
+        alpha = np.full(n, 1.0 / n)
+        # Lipschitz constant of the gradient K @ alpha is the top eigenvalue
+        # of K; the Gershgorin bound max row-sum is a cheap safe upper bound.
+        lipschitz = float(np.abs(K).sum(axis=1).max())
+        step = 1.0 / max(lipschitz, 1e-12)
+        for _ in range(self.n_iter):
+            grad = K @ alpha
+            alpha = _project_box_simplex(alpha - step * grad, upper)
+
+        self._X_sv = train
+        self._alpha = alpha
+        # rho from margin support vectors (0 < alpha < upper); fall back to
+        # all support vectors when none sit strictly inside the box.
+        decision_all = K @ alpha
+        margin = (alpha > 1e-8) & (alpha < upper - 1e-8)
+        if margin.any():
+            self._rho = float(decision_all[margin].mean())
+        else:
+            support = alpha > 1e-8
+            self._rho = float(decision_all[support].mean())
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        k = self._kernel(X, self._X_sv)
+        return self._rho - k @ self._alpha

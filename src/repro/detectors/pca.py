@@ -1,0 +1,59 @@
+"""PCA-based anomaly detection (Shyu et al., 2003).
+
+Samples are scored by their eigenvalue-weighted squared distance in the
+principal-component space: directions with small variance get large weights,
+so points deviating from the dominant correlation structure score high.
+This matches PyOD's PCA detector with all components retained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+
+__all__ = ["PCA"]
+
+
+class PCA(BaseDetector):
+    """Principal-component-analysis outlier detector.
+
+    Parameters
+    ----------
+    n_components : int or None
+        Number of principal components to keep; ``None`` keeps every
+        component with non-negligible variance.
+    contamination : float
+        See :class:`BaseDetector`.
+    """
+
+    def __init__(self, n_components: int | None = None,
+                 contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        if n_components is not None and n_components < 1:
+            raise ValueError(
+                f"n_components must be >= 1 or None, got {n_components}"
+            )
+        self.n_components = n_components
+        self._mean = None
+        self._components = None
+        self._eigenvalues = None
+
+    def _fit(self, X):
+        self._mean = X.mean(axis=0)
+        centered = X - self._mean
+        # SVD of the centered data gives eigenvectors of the covariance.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        eigenvalues = singular_values**2 / max(X.shape[0] - 1, 1)
+        keep = eigenvalues > max(eigenvalues.max(), 1e-30) * 1e-9
+        if self.n_components is not None:
+            n_keep = min(self.n_components, int(keep.sum()))
+            keep = np.zeros_like(keep)
+            keep[:n_keep] = True
+        self._components = vt[keep]
+        self._eigenvalues = np.maximum(eigenvalues[keep], 1e-12)
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        projected = (X - self._mean) @ self._components.T
+        return np.sum(projected**2 / self._eigenvalues, axis=1)

@@ -1,0 +1,88 @@
+"""Name-based factory for the paper's 14 source UAD models.
+
+The paper evaluates UADB on IForest, HBOS, LOF, KNN, PCA, OCSVM, CBLOF,
+COF, SOD, ECOD, GMM, LODA, COPOD, and DeepSVDD — all with PyOD default
+hyper-parameters.  ``make_detector(name)`` builds the matching detector
+here, and ``DETECTOR_NAMES`` preserves the paper's ordering (Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.detectors.abod import ABOD
+from repro.detectors.cblof import CBLOF
+from repro.detectors.cof import COF
+from repro.detectors.copod import COPOD
+from repro.detectors.deepsvdd import DeepSVDD
+from repro.detectors.ecod import ECOD
+from repro.detectors.feature_bagging import FeatureBagging
+from repro.detectors.gmm import GMM
+from repro.detectors.hbos import HBOS
+from repro.detectors.iforest import IForest
+from repro.detectors.inne import INNE
+from repro.detectors.kde import KDE
+from repro.detectors.knn import KNN
+from repro.detectors.loda import LODA
+from repro.detectors.lof import LOF
+from repro.detectors.mcd import MCD
+from repro.detectors.ocsvm import OCSVM
+from repro.detectors.pca import PCA
+from repro.detectors.sampling import Sampling
+from repro.detectors.sod import SOD
+
+__all__ = ["DETECTOR_NAMES", "EXTRA_DETECTOR_NAMES", "ALL_DETECTOR_NAMES",
+           "DETECTOR_CLASSES", "make_detector"]
+
+# Paper order (Table IV columns).
+DETECTOR_CLASSES = {
+    "IForest": IForest,
+    "HBOS": HBOS,
+    "LOF": LOF,
+    "KNN": KNN,
+    "PCA": PCA,
+    "OCSVM": OCSVM,
+    "CBLOF": CBLOF,
+    "COF": COF,
+    "SOD": SOD,
+    "ECOD": ECOD,
+    "GMM": GMM,
+    "LODA": LODA,
+    "COPOD": COPOD,
+    "DeepSVDD": DeepSVDD,
+}
+
+DETECTOR_NAMES = tuple(DETECTOR_CLASSES)
+
+# Additional ADBench-family baselines beyond the paper's 14.  UADB is
+# model-agnostic, so these plug into the booster and the harness the same
+# way; they are excluded from the paper-reproduction sweeps by default.
+EXTRA_DETECTOR_CLASSES = {
+    "ABOD": ABOD,
+    "MCD": MCD,
+    "KDE": KDE,
+    "INNE": INNE,
+    "FeatureBagging": FeatureBagging,
+    "Sampling": Sampling,
+}
+EXTRA_DETECTOR_NAMES = tuple(EXTRA_DETECTOR_CLASSES)
+ALL_DETECTOR_NAMES = DETECTOR_NAMES + EXTRA_DETECTOR_NAMES
+DETECTOR_CLASSES = {**DETECTOR_CLASSES, **EXTRA_DETECTOR_CLASSES}
+
+# Detectors whose constructor accepts a random_state.
+_SEEDED = {"IForest", "OCSVM", "CBLOF", "GMM", "LODA", "DeepSVDD",
+           "MCD", "KDE", "INNE", "FeatureBagging", "Sampling"}
+
+
+def make_detector(name: str, random_state=None, **kwargs):
+    """Instantiate detector ``name`` with paper-default hyper-parameters.
+
+    ``random_state`` is forwarded to stochastic detectors and ignored by the
+    deterministic ones, so callers can pass it uniformly.
+    """
+    if name not in DETECTOR_CLASSES:
+        raise KeyError(
+            f"unknown detector {name!r}; known: {list(ALL_DETECTOR_NAMES)}"
+        )
+    cls = DETECTOR_CLASSES[name]
+    if name in _SEEDED:
+        kwargs.setdefault("random_state", random_state)
+    return cls(**kwargs)

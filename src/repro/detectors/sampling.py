@@ -1,0 +1,48 @@
+"""Sampling-based outlier detection (Sugiyama & Borgwardt, 2013).
+
+The simplest effective baseline in the ADBench suite: the anomaly score of
+a point is its distance to the nearest member of one tiny uniform random
+subsample.  Despite its simplicity it is competitive on global anomalies
+and nearly free to compute.
+
+Not part of the paper's 14 evaluated models; included for completeness of
+the baseline zoo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.neighbors import pairwise_distances
+from repro.utils.rng import check_random_state
+
+__all__ = ["Sampling"]
+
+
+class Sampling(BaseDetector):
+    """Distance-to-random-subsample detector.
+
+    Parameters
+    ----------
+    subset_size : int
+        Size of the random reference subsample (paper default 20).
+    """
+
+    def __init__(self, subset_size: int = 20, contamination: float = 0.1,
+                 random_state=None):
+        super().__init__(contamination=contamination)
+        if subset_size < 1:
+            raise ValueError(f"subset_size must be >= 1, got {subset_size}")
+        self.subset_size = subset_size
+        self.random_state = random_state
+        self._subset = None
+
+    def _fit(self, X):
+        rng = check_random_state(self.random_state)
+        size = min(self.subset_size, X.shape[0])
+        self._subset = X[rng.choice(X.shape[0], size=size, replace=False)]
+        return self._decision_function(X)
+
+    def _decision_function(self, X):
+        return pairwise_distances(X, self._subset).min(axis=1)

@@ -1,0 +1,95 @@
+"""Subspace Outlier Detection (Kriegel et al., 2009).
+
+SOD scores each point against a *reference set* chosen by shared-nearest-
+neighbour similarity, in the axis-parallel subspace where the reference set
+is tight: dimensions whose reference variance is below ``alpha`` times the
+mean per-dimension variance.  The score is the normalised distance to the
+reference mean within that subspace — catching anomalies visible only in a
+projection.  PyOD defaults: ``n_neighbors=20``, ``ref_set=10``,
+``alpha=0.8``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import BaseDetector
+from repro.detectors.neighbors import kneighbors
+
+__all__ = ["SOD"]
+
+
+class SOD(BaseDetector):
+    """Subspace outlier degree.
+
+    Parameters
+    ----------
+    n_neighbors : int
+        Candidate pool size for shared-nearest-neighbour ranking.
+    ref_set : int
+        Reference set size (must be <= n_neighbors).
+    alpha : float in (0, 1)
+        Variance threshold selecting the relevant subspace.
+    """
+
+    def __init__(self, n_neighbors: int = 20, ref_set: int = 10,
+                 alpha: float = 0.8, contamination: float = 0.1):
+        super().__init__(contamination=contamination)
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if not 1 <= ref_set <= n_neighbors:
+            raise ValueError(
+                f"ref_set must be in [1, n_neighbors], got {ref_set}"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.n_neighbors = n_neighbors
+        self.ref_set = ref_set
+        self.alpha = alpha
+        self._X_train = None
+        self._train_knn = None
+
+    def _effective_sizes(self):
+        k = min(self.n_neighbors, self._X_train.shape[0] - 1)
+        r = min(self.ref_set, k)
+        return k, r
+
+    def _snn_reference(self, candidate_idx: np.ndarray,
+                       own_neighbors: np.ndarray, r: int) -> np.ndarray:
+        """Pick the ``r`` candidates sharing the most neighbours with us."""
+        own = set(own_neighbors.tolist())
+        overlaps = np.array([
+            len(own.intersection(self._train_knn[c])) for c in candidate_idx
+        ])
+        top = np.argsort(-overlaps, kind="mergesort")[:r]
+        return candidate_idx[top]
+
+    def _sod_score(self, x: np.ndarray, ref_points: np.ndarray) -> float:
+        mean = ref_points.mean(axis=0)
+        var = ref_points.var(axis=0)
+        mean_var = var.mean()
+        subspace = var < self.alpha * mean_var
+        if not subspace.any():
+            return 0.0
+        diff_sq = (x - mean) ** 2
+        return float(np.sqrt(diff_sq[subspace].sum()) / subspace.sum())
+
+    def _fit(self, X):
+        self._X_train = X.copy()
+        k, r = self._effective_sizes()
+        _, idx = kneighbors(X, X, k, exclude_self=True)
+        self._train_knn = [set(row.tolist()) for row in idx]
+        scores = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            ref_idx = self._snn_reference(idx[i], idx[i], r)
+            scores[i] = self._sod_score(X[i], X[ref_idx])
+        return scores
+
+    def _decision_function(self, X):
+        k, r = self._effective_sizes()
+        _, idx = kneighbors(X, self._X_train, k)
+        scores = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            ref_idx = self._snn_reference(idx[i], idx[i], r)
+            scores[i] = self._sod_score(X[i], self._X_train[ref_idx])
+        return scores

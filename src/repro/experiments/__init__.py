@@ -1,0 +1,79 @@
+"""Experiment harness and paper table/figure reproduction."""
+
+from repro.experiments.diagnostics import (
+    case_rank_trajectories,
+    convergence_profile,
+    correction_summary,
+    label_movement,
+)
+from repro.experiments.figures import (
+    FIG5_MODEL_PAIRS,
+    fig1_instance_variance,
+    fig2_variance_gap,
+    fig4_case_trajectories,
+    fig5_synthetic_types,
+    fig6_no_gap_improvement,
+    fig7_iteration_curves,
+    fig8_layer_sweep,
+    fig9_ranking_development,
+    imitation_variance,
+)
+from repro.experiments.harness import (
+    DEFAULT_BENCH_DATASETS,
+    RunResult,
+    run_grid,
+    run_single,
+    run_variant,
+)
+from repro.experiments.reporting import (
+    format_boxplots,
+    format_fig2,
+    format_fig5,
+    format_fig7,
+    format_table,
+    format_table4,
+    format_table5,
+    format_table6,
+)
+from repro.experiments.tables import (
+    aggregate_results,
+    boxplot_stats,
+    table4_summary,
+    table5_per_iteration,
+    table6_variants,
+)
+
+__all__ = [
+    "case_rank_trajectories",
+    "convergence_profile",
+    "correction_summary",
+    "label_movement",
+    "FIG5_MODEL_PAIRS",
+    "fig1_instance_variance",
+    "fig2_variance_gap",
+    "fig4_case_trajectories",
+    "fig5_synthetic_types",
+    "fig6_no_gap_improvement",
+    "fig7_iteration_curves",
+    "fig8_layer_sweep",
+    "fig9_ranking_development",
+    "imitation_variance",
+    "DEFAULT_BENCH_DATASETS",
+    "RunResult",
+    "run_grid",
+    "run_single",
+    "run_variant",
+    "format_boxplots",
+    "format_fig2",
+    "format_fig5",
+    "format_fig7",
+    "format_table",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "aggregate_results",
+    "boxplot_stats",
+    "table4_summary",
+    "table5_per_iteration",
+    "table6_variants",
+]

@@ -1,0 +1,173 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+The benchmark suite prints these alongside timing numbers so a run of
+``pytest benchmarks/ --benchmark-only`` regenerates every table/figure of
+the paper in textual form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "format_fig2",
+    "format_fig5",
+    "format_fig7",
+    "format_boxplots",
+]
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Render ``rows`` (lists of str) under ``headers`` as aligned text."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def fmt_row(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in rows)
+    return "\n".join(lines)
+
+
+def _f(x, nd=4):
+    return f"{x:.{nd}f}"
+
+
+def format_table4(summary: dict) -> str:
+    """Render the Table IV summary dict from ``table4_summary``."""
+    blocks = []
+    for metric, label in (("auc", "AUCROC"), ("ap", "AP")):
+        headers = ["Source UAD Model", "Original", "Booster", "Improvement",
+                   "Improvement (%)", "Effects", "P-value"]
+        rows = []
+        for detector, row in summary.items():
+            m = row[metric]
+            rows.append([
+                detector, _f(m["original"]), _f(m["booster"]),
+                _f(m["improvement"]), _f(m["improvement_pct"], 2),
+                f"{m['effects']}/{m['n_datasets']}",
+                f"{m['p_value']:.2e}",
+            ])
+        blocks.append(format_table(
+            headers, rows, title=f"[Table IV] UADB improvement ({label})"))
+    return "\n\n".join(blocks)
+
+
+def format_table5(table: dict) -> str:
+    """Render the per-iteration Table V dict from ``table5_per_iteration``."""
+    blocks = []
+    for detector, by_dataset in table.items():
+        for metric, label in (("auc", "AUCROC"), ("ap", "AP")):
+            iter_keys = None
+            rows = []
+            for dataset, cell in by_dataset.items():
+                m = cell[metric]
+                if iter_keys is None:
+                    iter_keys = list(m["iterations"])
+                rows.append(
+                    [dataset, _f(m["teacher"])]
+                    + [_f(m["iterations"][k]) for k in iter_keys]
+                    + [_f(m["improvement"])]
+                )
+            headers = (["Dataset", "Teacher"] + (iter_keys or [])
+                       + ["Improvement"])
+            blocks.append(format_table(
+                headers, rows,
+                title=f"[Table V] {detector} booster ({label})"))
+    return "\n\n".join(blocks)
+
+
+def format_table6(table: dict) -> str:
+    """Render the variant-ablation Table VI dict from ``table6_variants``."""
+    strategies = ["origin", "naive", "discrepancy", "self",
+                  "discrepancy_star", "uadb"]
+    present = [s for s in strategies if s in table]
+    detectors = list(next(iter(table.values())))
+    blocks = []
+    for metric, label in (("auc", "AUCROC"), ("ap", "AP")):
+        headers = ["Strategy"] + detectors + ["Average"]
+        rows = []
+        for strategy in present:
+            values = [table[strategy][det][metric] for det in detectors]
+            rows.append([strategy] + [_f(v) for v in values]
+                        + [_f(float(np.mean(values)))])
+        blocks.append(format_table(
+            headers, rows,
+            title=f"[Table VI] booster strategies ({label})"))
+    return "\n\n".join(blocks)
+
+
+def format_fig2(gap_info: dict, max_rows: int = 20) -> str:
+    """Render the Fig 2 variance-gap data (most negative gaps first)."""
+    items = sorted(gap_info["gaps"].items(), key=lambda kv: kv[1])
+    rows = [[name, _f(gap, 3), "anomalies" if gap < 0 else "normals"]
+            for name, gap in items[:max_rows]]
+    table = format_table(
+        ["Dataset", "Relative gap", "Higher variance"], rows,
+        title="[Fig 2] variance gap (normal - abnormal) / abnormal")
+    summary = (
+        f"anomalies have higher variance on {gap_info['n_negative']}/"
+        f"{gap_info['n_total']} datasets "
+        f"({gap_info['fraction_negative']:.0%})"
+    )
+    return f"{table}\n{summary}"
+
+
+def format_fig5(records: list) -> str:
+    """Render the Fig 5 synthetic-type error-correction records."""
+    rows = [[
+        r["anomaly_type"], r["model"], r["teacher_errors"],
+        r["booster_errors"], f"{r['correction_rate']:.0%}",
+        _f(r["teacher_auc"], 3), _f(r["booster_auc"], 3),
+    ] for r in records]
+    mean_rate = float(np.mean([r["correction_rate"] for r in records]))
+    table = format_table(
+        ["Anomaly type", "Model", "Teacher errors", "Booster errors",
+         "Correction rate", "Teacher AUC", "Booster AUC"], rows,
+        title="[Fig 5] error correction on synthetic anomaly types")
+    return f"{table}\nmean correction rate: {mean_rate:.1%}"
+
+
+def format_fig7(curves: dict) -> str:
+    """Render the Fig 7 iteration curves (AUCROC per iteration)."""
+    n_iters = max(len(c["per_iteration_auc"]) for c in curves.values())
+    headers = ["Model", "Source"] + [f"it{i + 1}" for i in range(n_iters)]
+    rows = []
+    for det, c in curves.items():
+        vals = c["per_iteration_auc"]
+        rows.append([det, _f(c["source_auc"], 3)]
+                    + [_f(v, 3) for v in vals]
+                    + [""] * (n_iters - len(vals)))
+    return format_table(headers, rows,
+                        title="[Fig 7] booster AUCROC vs training iteration")
+
+
+def format_boxplots(stats: dict) -> str:
+    """Render the Fig 10 boxplot five-number summaries."""
+    blocks = []
+    for metric, label in (("auc", "AUCROC"), ("ap", "AP")):
+        headers = ["Model", "Who", "Min", "Q1", "Median", "Q3", "Max", "Mean"]
+        rows = []
+        for det, by_metric in stats.items():
+            for who in ("source", "booster"):
+                s = by_metric[metric][who]
+                rows.append([
+                    det, who, _f(s["min"], 3), _f(s["q1"], 3),
+                    _f(s["median"], 3), _f(s["q3"], 3), _f(s["max"], 3),
+                    _f(s["mean"], 3),
+                ])
+        blocks.append(format_table(
+            headers, rows, title=f"[Fig 10] boxplot summary ({label})"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,23 @@
+"""Evaluation metrics: ranking metrics, confusion statistics, paired tests."""
+
+from repro.metrics.classification import (
+    confusion_counts,
+    error_count,
+    error_correction_rate,
+    instance_cases,
+    rank_of,
+)
+from repro.metrics.ranking import auc_roc, average_precision, precision_at_n
+from repro.metrics.stats import wilcoxon_signed_rank
+
+__all__ = [
+    "auc_roc",
+    "average_precision",
+    "precision_at_n",
+    "confusion_counts",
+    "error_count",
+    "error_correction_rate",
+    "instance_cases",
+    "rank_of",
+    "wilcoxon_signed_rank",
+]

@@ -1,0 +1,115 @@
+"""Thresholded confusion statistics and ranking helpers.
+
+The paper's case studies (Fig 4, Fig 5, Fig 9) reason about the four types of
+instances — TP / FN / FP / TN — at a detection threshold, and about the rank
+position of each instance in the score vector.  These helpers implement that
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_length, check_scores
+
+__all__ = [
+    "confusion_counts",
+    "error_count",
+    "error_correction_rate",
+    "instance_cases",
+    "rank_of",
+    "threshold_by_contamination",
+]
+
+
+def _validate(y_true, scores):
+    y = np.asarray(y_true).ravel().astype(np.int64)
+    s = check_scores(scores)
+    check_consistent_length(y, s)
+    if not np.all(np.isin(y, (0, 1))):
+        raise ValueError("y_true must contain only 0 and 1")
+    return y, s
+
+
+def threshold_by_contamination(scores, contamination: float) -> float:
+    """Score threshold that flags the top ``contamination`` fraction.
+
+    Mirrors PyOD's convention: a detector flags the ``contamination`` share
+    of highest-scoring samples as anomalies.
+    """
+    s = check_scores(scores)
+    if not 0.0 < contamination < 1.0:
+        raise ValueError(f"contamination must be in (0, 1), got {contamination}")
+    return float(np.quantile(s, 1.0 - contamination))
+
+
+def confusion_counts(y_true, scores, threshold: float = 0.5) -> dict:
+    """Counts of TP, FN, FP, TN at ``threshold`` (score > threshold => flag)."""
+    y, s = _validate(y_true, scores)
+    pred = (s > threshold).astype(np.int64)
+    return {
+        "tp": int(np.sum((y == 1) & (pred == 1))),
+        "fn": int(np.sum((y == 1) & (pred == 0))),
+        "fp": int(np.sum((y == 0) & (pred == 1))),
+        "tn": int(np.sum((y == 0) & (pred == 0))),
+    }
+
+
+def error_count(y_true, scores, threshold: float = 0.5) -> int:
+    """Number of misclassified instances (FP + FN) at ``threshold``."""
+    counts = confusion_counts(y_true, scores, threshold)
+    return counts["fp"] + counts["fn"]
+
+
+def error_correction_rate(y_true, teacher_scores, booster_scores,
+                          threshold: float = 0.5) -> float:
+    """Fraction of the teacher's errors that the booster corrects (Fig 5).
+
+    Defined over the instances the teacher misclassifies: the share of those
+    that the booster classifies correctly.  Returns 0.0 when the teacher made
+    no errors (nothing to correct).
+    """
+    y, s_t = _validate(y_true, teacher_scores)
+    s_b = check_scores(booster_scores)
+    check_consistent_length(y, s_b)
+    teacher_pred = (s_t > threshold).astype(np.int64)
+    booster_pred = (s_b > threshold).astype(np.int64)
+    teacher_wrong = teacher_pred != y
+    n_errors = int(teacher_wrong.sum())
+    if n_errors == 0:
+        return 0.0
+    corrected = int(np.sum(teacher_wrong & (booster_pred == y)))
+    return corrected / n_errors
+
+
+def instance_cases(y_true, scores, threshold: float = 0.5) -> np.ndarray:
+    """Label every instance as one of ``'TP'``, ``'FN'``, ``'FP'``, ``'TN'``."""
+    y, s = _validate(y_true, scores)
+    pred = (s > threshold).astype(np.int64)
+    cases = np.empty(y.size, dtype="<U2")
+    cases[(y == 1) & (pred == 1)] = "TP"
+    cases[(y == 1) & (pred == 0)] = "FN"
+    cases[(y == 0) & (pred == 1)] = "FP"
+    cases[(y == 0) & (pred == 0)] = "TN"
+    return cases
+
+
+def rank_of(scores) -> np.ndarray:
+    """Rank of every instance by score (1 = lowest score, n = highest).
+
+    The paper's Fig 9 tracks average ranks of TP/TN/FP/FN groups; a higher
+    rank means the model is more confident the instance is an anomaly.
+    Ties receive the midrank.
+    """
+    s = check_scores(scores)
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(s.size, dtype=np.float64)
+    sorted_vals = s[order]
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks

@@ -1,0 +1,92 @@
+"""Threshold-free ranking metrics for anomaly detection.
+
+The paper evaluates with AUCROC (area under the ROC curve) and AP (average
+precision); both treat the anomaly score as a ranking and are insensitive to
+monotone rescaling — which is what makes them appropriate for unsupervised
+detectors whose raw score scales differ wildly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_length, check_scores
+
+__all__ = ["auc_roc", "average_precision", "precision_at_n"]
+
+
+def _validate(y_true, scores):
+    y = np.asarray(y_true).ravel().astype(np.float64)
+    s = check_scores(scores)
+    check_consistent_length(y, s)
+    if not np.all(np.isin(y, (0.0, 1.0))):
+        raise ValueError("y_true must contain only 0 (inlier) and 1 (anomaly)")
+    n_pos = int(y.sum())
+    if n_pos == 0 or n_pos == y.size:
+        raise ValueError(
+            "y_true must contain both classes to compute a ranking metric"
+        )
+    return y, s
+
+
+def _tie_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties assigned the midrank, as in Mann-Whitney."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        # midrank for the tied block [i, j]
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def auc_roc(y_true, scores) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Equivalent to the probability that a uniformly random anomaly receives a
+    higher score than a uniformly random inlier (ties count one half).
+    """
+    y, s = _validate(y_true, scores)
+    ranks = _tie_ranks(s)
+    n_pos = y.sum()
+    n_neg = y.size - n_pos
+    rank_sum_pos = ranks[y == 1.0].sum()
+    u_stat = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_stat / (n_pos * n_neg))
+
+
+def average_precision(y_true, scores) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Uses the standard step-wise interpolation: AP = sum over ranked positives
+    of precision-at-that-rank divided by the number of positives.  Ties are
+    broken pessimistically by ordering inliers before anomalies within a tied
+    score block, which makes the metric deterministic.
+    """
+    y, s = _validate(y_true, scores)
+    # Sort by decreasing score; within ties put inliers first (pessimistic).
+    order = np.lexsort((y, -s))
+    y_sorted = y[order]
+    cum_tp = np.cumsum(y_sorted)
+    ranks = np.arange(1, y.size + 1)
+    precision = cum_tp / ranks
+    return float(precision[y_sorted == 1.0].sum() / y.sum())
+
+
+def precision_at_n(y_true, scores, n: int | None = None) -> float:
+    """Precision among the top-``n`` scored samples.
+
+    ``n`` defaults to the number of true anomalies (the common P@n protocol).
+    """
+    y, s = _validate(y_true, scores)
+    if n is None:
+        n = int(y.sum())
+    if not 1 <= n <= y.size:
+        raise ValueError(f"n must be in [1, {y.size}], got {n}")
+    order = np.lexsort((y, -s))
+    return float(y[order][:n].mean())

@@ -1,0 +1,32 @@
+"""A small feed-forward neural-network library on numpy.
+
+This substrate replaces the paper's PyTorch dependency.  It provides exactly
+what UADB and DeepSVDD need: dense layers, common activations, regression
+losses, SGD/Adam optimizers, and a mini-batch training loop — all with
+explicit, testable forward/backward passes.
+"""
+
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers import Dense
+from repro.nn.losses import BCELoss, MSELoss
+from repro.nn.network import Sequential, build_mlp
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.training import TrainingHistory, iterate_minibatches, train
+
+__all__ = [
+    "Identity",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dense",
+    "BCELoss",
+    "MSELoss",
+    "Sequential",
+    "build_mlp",
+    "SGD",
+    "Adam",
+    "TrainingHistory",
+    "iterate_minibatches",
+    "train",
+]

@@ -1,0 +1,113 @@
+"""Element-wise activation layers with explicit backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Identity", "ReLU", "LeakyReLU", "Sigmoid", "Tanh"]
+
+
+class _Activation:
+    """Base class: stateless layer with cached forward input/output."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list:
+        return []
+
+    @property
+    def grads(self) -> list:
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(_Activation):
+    """Pass-through activation (linear output layer)."""
+
+    def forward(self, x):
+        return x
+
+    def backward(self, grad_out):
+        return grad_out
+
+
+class ReLU(_Activation):
+    """Rectified linear unit: ``max(0, x)``."""
+
+    def __init__(self):
+        self._mask = None
+
+    def forward(self, x):
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class LeakyReLU(_Activation):
+    """Leaky ReLU: ``x`` for positive input, ``alpha * x`` otherwise."""
+
+    def __init__(self, alpha: float = 0.01):
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self._mask = None
+
+    def forward(self, x):
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * np.where(self._mask, 1.0, self.alpha)
+
+    def __repr__(self):
+        return f"LeakyReLU(alpha={self.alpha})"
+
+
+class Sigmoid(_Activation):
+    """Logistic sigmoid, numerically stable for large |x|."""
+
+    def __init__(self):
+        self._out = None
+
+    def forward(self, x):
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad_out):
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(_Activation):
+    """Hyperbolic tangent."""
+
+    def __init__(self):
+        self._out = None
+
+    def forward(self, x):
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out):
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._out**2)

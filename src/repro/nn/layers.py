@@ -1,0 +1,75 @@
+"""Trainable layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["Dense"]
+
+
+class Dense:
+    """Fully-connected layer ``y = x @ W + b``.
+
+    Weights use Kaiming-uniform initialisation (fan-in scaling), matching
+    PyTorch's ``nn.Linear`` default, so the booster behaves like the paper's
+    PyTorch MLP at initialisation.
+
+    Parameters
+    ----------
+    in_features, out_features : int
+        Input and output dimensionality.
+    bias : bool
+        Whether to learn an additive bias term.
+    random_state : None, int, or numpy.random.Generator
+        Source of randomness for initialisation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 random_state=None):
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = check_random_state(random_state)
+        bound = 1.0 / np.sqrt(in_features)
+        self.W = rng.uniform(-bound, bound, size=(in_features, out_features))
+        self.b = rng.uniform(-bound, bound, size=out_features) if bias else None
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b) if bias else None
+        self._x = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (n, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._x = x
+        out = x @ self.W
+        if self.b is not None:
+            out = out + self.b
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW[...] = self._x.T @ grad_out
+        if self.b is not None:
+            self.db[...] = grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    @property
+    def params(self) -> list:
+        return [self.W] if self.b is None else [self.W, self.b]
+
+    @property
+    def grads(self) -> list:
+        return [self.dW] if self.b is None else [self.dW, self.db]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dense({self.in_features}, {self.out_features}, "
+            f"bias={self.b is not None})"
+        )

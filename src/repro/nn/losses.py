@@ -1,0 +1,57 @@
+"""Regression losses for pseudo-supervised booster training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MSELoss", "BCELoss"]
+
+
+class MSELoss:
+    """Mean squared error ``mean((pred - target)^2)``."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: pred {pred.shape} vs target {target.shape}"
+            )
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the loss w.r.t. the prediction."""
+        if getattr(self, "_diff", None) is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class BCELoss:
+    """Binary cross-entropy on probabilities in (0, 1).
+
+    Inputs are clipped to ``[eps, 1-eps]`` for numerical stability, which is
+    the standard behaviour of framework implementations.
+    """
+
+    def __init__(self, eps: float = 1e-7):
+        if not 0 < eps < 0.5:
+            raise ValueError(f"eps must be in (0, 0.5), got {eps}")
+        self.eps = eps
+        self._pred = None
+        self._target = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: pred {pred.shape} vs target {target.shape}"
+            )
+        p = np.clip(pred, self.eps, 1.0 - self.eps)
+        self._pred = p
+        self._target = target
+        loss = -(target * np.log(p) + (1.0 - target) * np.log(1.0 - p))
+        return float(np.mean(loss))
+
+    def backward(self) -> np.ndarray:
+        if self._pred is None:
+            raise RuntimeError("backward called before forward")
+        p, t = self._pred, self._target
+        return (p - t) / (p * (1.0 - p)) / p.size

@@ -1,0 +1,96 @@
+"""Sequential network container and the booster MLP factory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import Identity, ReLU, Sigmoid
+from repro.nn.layers import Dense
+from repro.utils.rng import check_random_state, spawn_rng
+
+__all__ = ["Sequential", "build_mlp"]
+
+
+class Sequential:
+    """A stack of layers applied in order, with reverse-order backprop."""
+
+    def __init__(self, layers: list):
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    @property
+    def params(self) -> list:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list:
+        return [g for layer in self.layers for g in layer.grads]
+
+    def get_weights(self) -> list:
+        """Copies of all parameters (for checkpointing)."""
+        return [p.copy() for p in self.params]
+
+    def set_weights(self, weights: list) -> None:
+        """Load parameters previously returned by :meth:`get_weights`."""
+        params = self.params
+        if len(weights) != len(params):
+            raise ValueError(
+                f"expected {len(params)} arrays, got {len(weights)}"
+            )
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ValueError(f"shape mismatch: {p.shape} vs {w.shape}")
+            p[...] = w
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"
+
+
+def build_mlp(in_features: int, hidden: int = 128, n_layers: int = 3,
+              out_features: int = 1, output: str = "sigmoid",
+              random_state=None) -> Sequential:
+    """Build the paper's booster architecture.
+
+    A fully-connected MLP with ``n_layers`` Dense layers (so ``n_layers - 1``
+    hidden layers of width ``hidden`` with ReLU) and a sigmoid output so the
+    predicted anomaly score lies in [0, 1].  The paper's default is a 3-layer
+    MLP with 128 hidden units.
+
+    Parameters
+    ----------
+    output : {'sigmoid', 'linear'}
+        Output activation; DeepSVDD uses a linear embedding head.
+    """
+    if n_layers < 1:
+        raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+    if output not in ("sigmoid", "linear"):
+        raise ValueError(f"unknown output activation: {output!r}")
+    rng = check_random_state(random_state)
+    rngs = spawn_rng(rng, n_layers)
+
+    layers = []
+    prev = in_features
+    for i in range(n_layers - 1):
+        layers.append(Dense(prev, hidden, random_state=rngs[i]))
+        layers.append(ReLU())
+        prev = hidden
+    layers.append(Dense(prev, out_features, random_state=rngs[-1]))
+    layers.append(Sigmoid() if output == "sigmoid" else Identity())
+    return Sequential(layers)

@@ -1,0 +1,74 @@
+"""First-order optimizers operating on parameter/gradient lists in place."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list, grads: list, lr: float = 0.01,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            if self.momentum > 0:
+                v *= self.momentum
+                v += g
+                p -= self.lr * v
+            else:
+                p -= self.lr * g
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+    Defaults match the paper's booster setup: ``lr=1e-3``, ``betas=(0.9,
+    0.999)``, ``eps=1e-8`` — the PyTorch defaults.
+    """
+
+    def __init__(self, params: list, grads: list, lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have equal length")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,70 @@
+"""Mini-batch training loop shared by the booster and DeepSVDD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import MSELoss
+from repro.nn.optimizers import Adam
+from repro.utils.rng import check_random_state
+
+__all__ = ["TrainingHistory", "iterate_minibatches", "train"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch mean losses recorded by :func:`train`."""
+
+    epoch_losses: list = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise RuntimeError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+
+def iterate_minibatches(n_samples: int, batch_size: int,
+                        rng: np.random.Generator, shuffle: bool = True):
+    """Yield index arrays covering ``range(n_samples)`` in batches."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    indices = np.arange(n_samples)
+    if shuffle:
+        rng.shuffle(indices)
+    for start in range(0, n_samples, batch_size):
+        yield indices[start:start + batch_size]
+
+
+def train(network, X: np.ndarray, y: np.ndarray, epochs: int = 10,
+          batch_size: int = 256, lr: float = 1e-3, loss=None, optimizer=None,
+          random_state=None) -> TrainingHistory:
+    """Train ``network`` to regress ``y`` from ``X``.
+
+    Defaults mirror the paper's booster setup: Adam with ``lr=1e-3``,
+    ``batch_size=256``, 10 epochs per call.  The optimizer may be supplied by
+    the caller so its moment state persists across repeated calls (as in the
+    iterative UADB loop).
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be non-negative, got {epochs}")
+    X = np.asarray(X, dtype=np.float64)
+    target = np.asarray(y, dtype=np.float64).reshape(X.shape[0], -1)
+    rng = check_random_state(random_state)
+    loss = loss if loss is not None else MSELoss()
+    if optimizer is None:
+        optimizer = Adam(network.params, network.grads, lr=lr)
+
+    history = TrainingHistory()
+    for _ in range(epochs):
+        batch_losses = []
+        for batch in iterate_minibatches(X.shape[0], batch_size, rng):
+            pred = network.forward(X[batch])
+            batch_loss = loss.forward(pred, target[batch])
+            network.backward(loss.backward())
+            optimizer.step()
+            batch_losses.append(batch_loss)
+        history.epoch_losses.append(float(np.mean(batch_losses)))
+    return history

@@ -1,0 +1,19 @@
+"""Shared low-level utilities: RNG handling and input validation."""
+
+from repro.utils.rng import check_random_state, spawn_rng, stable_hash
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_scores,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_rng",
+    "stable_hash",
+    "check_array",
+    "check_consistent_length",
+    "check_fitted",
+    "check_scores",
+]

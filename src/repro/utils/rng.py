@@ -1,0 +1,64 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts a ``random_state`` that may
+be ``None``, an integer seed, or a :class:`numpy.random.Generator`.  This
+module centralises the conversion so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["check_random_state", "spawn_rng", "stable_hash"]
+
+
+def check_random_state(random_state=None) -> np.random.Generator:
+    """Coerce ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state : None, int, or numpy.random.Generator
+        ``None`` creates an unseeded generator, an ``int`` seeds a fresh
+        generator, and a ``Generator`` is passed through unchanged.
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, an int, or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Children are seeded from the parent stream, so a run is reproducible as
+    long as the parent seed is fixed, while the children stay statistically
+    independent of each other.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def stable_hash(text: str, modulus: int = 2**31 - 1) -> int:
+    """Return a deterministic integer hash of ``text``.
+
+    Python's built-in ``hash`` is salted per process; this helper instead
+    uses SHA-256 so dataset names map to the same seed in every run.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % modulus

@@ -1,0 +1,61 @@
+"""Input validation helpers used across detectors, boosters, and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_array",
+    "check_consistent_length",
+    "check_fitted",
+    "check_scores",
+]
+
+
+def check_array(X, name: str = "X", ensure_2d: bool = True,
+                min_samples: int = 1) -> np.ndarray:
+    """Validate and convert ``X`` to a float64 ndarray.
+
+    Rejects NaN/inf values and (optionally) non-2-d input so that every
+    downstream algorithm can assume clean numeric data.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if ensure_2d:
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+        if arr.shape[1] < 1:
+            raise ValueError(f"{name} must have at least one feature")
+    if arr.shape[0] < min_samples:
+        raise ValueError(
+            f"{name} needs at least {min_samples} samples, got {arr.shape[0]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(*arrays) -> None:
+    """Raise ``ValueError`` unless all arrays share the same first dimension."""
+    lengths = [len(a) for a in arrays if a is not None]
+    if len(set(lengths)) > 1:
+        raise ValueError(f"Inconsistent sample counts: {lengths}")
+
+
+def check_fitted(estimator, attribute: str) -> None:
+    """Raise ``RuntimeError`` if ``estimator`` lacks a fitted ``attribute``."""
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )
+
+
+def check_scores(scores, name: str = "scores") -> np.ndarray:
+    """Validate a 1-d vector of anomaly scores."""
+    arr = np.asarray(scores, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr

@@ -1,0 +1,48 @@
+"""Shared fixtures: small, fast datasets and booster configurations."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_anomaly_dataset
+
+# Booster settings that keep unit tests fast while exercising every code
+# path (3 folds, iterative updates, final scoring).
+FAST_BOOSTER = {
+    "n_iterations": 2,
+    "hidden": 16,
+    "n_layers": 3,
+    "epochs_per_iteration": 2,
+    "batch_size": 64,
+}
+
+FAST_ENSEMBLE = {
+    "hidden": 16,
+    "epochs": 2,
+    "batch_size": 64,
+    "min_steps_per_round": 10,
+    "first_round_steps": 40,
+}
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 240-sample local-anomaly dataset with standardised features."""
+    data = make_anomaly_dataset("local", n_inliers=216, n_anomalies=24,
+                                n_features=4, random_state=7)
+    X = StandardScaler().fit_transform(data.X)
+    return X, data.y
+
+
+@pytest.fixture(scope="session")
+def clustered_dataset():
+    """A 2-d clustered-anomaly dataset (easy for global methods)."""
+    data = make_anomaly_dataset("clustered", n_inliers=180, n_anomalies=20,
+                                n_features=2, random_state=3)
+    X = StandardScaler().fit_transform(data.X)
+    return X, data.y
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,140 @@
+"""Tests for UADBooster (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.booster import BoosterHistory, UADBooster
+from repro.detectors import IForest, LOF
+from repro.metrics.ranking import auc_roc
+from tests.conftest import FAST_BOOSTER
+
+
+@pytest.fixture(scope="module")
+def fitted_booster(small_dataset):
+    X, _ = small_dataset
+    source = IForest(random_state=0).fit(X)
+    booster = UADBooster(**FAST_BOOSTER, random_state=0)
+    booster.fit(X, source)
+    return booster
+
+
+class TestFit:
+    def test_accepts_detector(self, small_dataset):
+        X, _ = small_dataset
+        source = IForest(random_state=0).fit(X)
+        booster = UADBooster(**FAST_BOOSTER, random_state=0).fit(X, source)
+        assert booster.scores_.shape == (X.shape[0],)
+
+    def test_accepts_raw_scores(self, small_dataset):
+        X, _ = small_dataset
+        raw = np.random.default_rng(0).uniform(size=X.shape[0]) * 100
+        booster = UADBooster(**FAST_BOOSTER, random_state=0).fit(X, raw)
+        assert booster.scores_.shape == (X.shape[0],)
+
+    def test_unfitted_detector_rejected(self, small_dataset):
+        X, _ = small_dataset
+        with pytest.raises(RuntimeError):
+            UADBooster(**FAST_BOOSTER).fit(X, IForest())
+
+    def test_score_length_mismatch(self, small_dataset):
+        X, _ = small_dataset
+        with pytest.raises(ValueError):
+            UADBooster(**FAST_BOOSTER).fit(X, np.zeros(7))
+
+    def test_scores_in_unit_interval(self, fitted_booster):
+        assert fitted_booster.scores_.min() >= 0.0
+        assert fitted_booster.scores_.max() <= 1.0
+
+    def test_pseudo_labels_in_unit_interval(self, fitted_booster):
+        assert fitted_booster.pseudo_labels_.min() >= 0.0
+        assert fitted_booster.pseudo_labels_.max() <= 1.0
+
+    def test_deterministic(self, small_dataset):
+        X, _ = small_dataset
+        raw = np.random.default_rng(3).uniform(size=X.shape[0])
+        a = UADBooster(**FAST_BOOSTER, random_state=9).fit(X, raw).scores_
+        b = UADBooster(**FAST_BOOSTER, random_state=9).fit(X, raw).scores_
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            UADBooster(n_iterations=0)
+
+
+class TestHistory:
+    def test_history_lengths(self, fitted_booster):
+        h = fitted_booster.history_
+        T = FAST_BOOSTER["n_iterations"]
+        assert h.n_iterations == T
+        assert len(h.pseudo_labels) == T + 1
+        assert len(h.booster_scores) == T
+        assert len(h.variances) == T
+
+    def test_label_matrix_shape(self, fitted_booster):
+        h = fitted_booster.history_
+        n = fitted_booster.scores_.shape[0]
+        T = FAST_BOOSTER["n_iterations"]
+        assert h.pseudo_label_matrix().shape == (n, T + 1)
+
+    def test_variances_non_negative(self, fitted_booster):
+        for v in fitted_booster.history_.variances:
+            assert np.all(v >= 0)
+
+    def test_history_disabled(self, small_dataset):
+        X, _ = small_dataset
+        raw = np.random.default_rng(0).uniform(size=X.shape[0])
+        booster = UADBooster(**FAST_BOOSTER, record_history=False,
+                             random_state=0).fit(X, raw)
+        assert booster.history_ is None
+        assert booster.scores_ is not None
+
+    def test_empty_history_raises(self):
+        with pytest.raises(RuntimeError):
+            BoosterHistory().pseudo_label_matrix()
+
+
+class TestScoring:
+    def test_score_samples_new_data(self, fitted_booster, small_dataset):
+        X, _ = small_dataset
+        scores = fitted_booster.score_samples(X[:5] + 0.01)
+        assert scores.shape == (5,)
+        assert np.all((0 <= scores) & (scores <= 1))
+
+    def test_predict_threshold(self, fitted_booster, small_dataset):
+        X, _ = small_dataset
+        labels = fitted_booster.predict(X, threshold=0.5)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_unfitted_raises(self, small_dataset):
+        X, _ = small_dataset
+        with pytest.raises(RuntimeError):
+            UADBooster(**FAST_BOOSTER).score_samples(X)
+
+
+class TestBoosterBehaviour:
+    def test_distills_teacher_knowledge(self, small_dataset):
+        """With enough training the booster correlates with the teacher."""
+        X, _ = small_dataset
+        source = IForest(random_state=0).fit(X)
+        booster = UADBooster(n_iterations=3, hidden=32,
+                             random_state=0).fit(X, source)
+        corr = np.corrcoef(booster.scores_, source.fit_scores())[0, 1]
+        assert corr > 0.7
+
+    def test_recovers_failing_lof_on_clustered(self, clustered_dataset):
+        """The paper's headline case: a neighbour-based teacher fails on a
+        tight remote anomaly cluster; the booster recovers much of it."""
+        X, y = clustered_dataset
+        source = LOF(n_neighbors=10).fit(X)
+        teacher_auc = auc_roc(y, source.fit_scores())
+        booster = UADBooster(n_iterations=5, random_state=0).fit(X, source)
+        booster_auc = auc_roc(y, booster.scores_)
+        assert teacher_auc < 0.85  # teacher genuinely imperfect here
+        assert booster_auc > teacher_auc - 0.02
+
+    def test_more_folds_supported(self, small_dataset):
+        X, _ = small_dataset
+        raw = np.random.default_rng(0).uniform(size=X.shape[0])
+        booster = UADBooster(**{**FAST_BOOSTER}, n_folds=4,
+                             random_state=0).fit(X, raw)
+        assert booster._ensemble.predict_per_fold(X).shape[1] == 4

@@ -1,0 +1,102 @@
+"""Tests for score-combination utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combination import aom, average, maximization, moa, \
+    normalize_scores
+
+
+def random_score_lists(seed, n=30, k=4):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, rng.uniform(0.5, 10), size=n) for _ in range(k)]
+
+
+class TestNormalizeScores:
+    def test_rank_in_unit_interval(self):
+        out = normalize_scores(random_score_lists(0), method="rank")
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_rank_preserves_order(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        out = normalize_scores([scores], method="rank")[:, 0]
+        assert np.array_equal(np.argsort(out), np.argsort(scores))
+
+    def test_zscore_standardises(self):
+        out = normalize_scores(random_score_lists(1), method="zscore")
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_unit_bounds(self):
+        out = normalize_scores(random_score_lists(2), method="unit")
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            normalize_scores(random_score_lists(0), method="weird")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_scores([[1.0, np.nan]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_scores([])
+
+
+class TestCombiners:
+    def test_average_of_identical_is_identity(self):
+        scores = np.array([0.1, 0.5, 0.9])
+        out = average([scores, scores], normalization="unit")
+        np.testing.assert_allclose(out, (scores - 0.1) / 0.8)
+
+    def test_maximization_dominates_average(self):
+        lists = random_score_lists(3)
+        assert np.all(maximization(lists) >= average(lists) - 1e-12)
+
+    def test_aom_between_average_and_max(self):
+        lists = random_score_lists(4, k=6)
+        avg = average(lists)
+        mx = maximization(lists)
+        a = aom(lists, n_buckets=3, random_state=0)
+        assert np.all(a >= avg - 1e-9)
+        assert np.all(a <= mx + 1e-9)
+
+    def test_moa_between_average_and_max(self):
+        lists = random_score_lists(5, k=6)
+        avg = average(lists)
+        mx = maximization(lists)
+        m = moa(lists, n_buckets=3, random_state=0)
+        assert np.all(m >= avg - 1e-9)
+        assert np.all(m <= mx + 1e-9)
+
+    def test_single_bucket_aom_is_max(self):
+        lists = random_score_lists(6)
+        np.testing.assert_allclose(
+            aom(lists, n_buckets=1, random_state=0), maximization(lists))
+
+    def test_bucket_count_validated(self):
+        lists = random_score_lists(7, k=3)
+        with pytest.raises(ValueError):
+            aom(lists, n_buckets=5)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_combiners_bounded_by_rank_normalisation(self, seed):
+        lists = random_score_lists(seed)
+        for combiner in (average, maximization):
+            out = combiner(lists)
+            assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_combination_improves_over_worst_detector(self):
+        """Averaging a good and a random detector beats the random one."""
+        from repro.metrics.ranking import auc_roc
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 90 + [1] * 10)
+        good = y + rng.normal(0, 0.3, size=100)
+        bad = rng.normal(size=100)
+        combined = average([good, bad])
+        assert auc_roc(y, combined) > auc_roc(y, bad)

@@ -1,0 +1,115 @@
+"""Tests for the k-fold booster ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import FoldEnsemble
+from tests.conftest import FAST_ENSEMBLE
+
+
+class TestInitialize:
+    def test_builds_three_folds(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        assert len(ens._networks) == 3
+        assert len(ens._train_indices) == 3
+
+    def test_each_fold_trains_on_two_thirds(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        for idx in ens._train_indices:
+            assert idx.size == pytest.approx(2 * X.shape[0] / 3, abs=2)
+
+    def test_fold_reduction_on_tiny_data(self):
+        X = np.random.default_rng(0).normal(size=(2, 3))
+        ens = FoldEnsemble(n_folds=3, **{k: v for k, v in
+                                         FAST_ENSEMBLE.items()
+                                         if k != "hidden"},
+                           hidden=4, random_state=0).initialize(X)
+        assert len(ens._networks) >= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FoldEnsemble(n_folds=0)
+        with pytest.raises(ValueError):
+            FoldEnsemble(min_steps_per_round=-1)
+        with pytest.raises(ValueError):
+            FoldEnsemble(loss="hinge")
+
+
+class TestTrainRound:
+    def test_train_before_init_raises(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE)
+        with pytest.raises(RuntimeError):
+            ens.train_round(X, np.zeros(X.shape[0]))
+
+    def test_returns_histories(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        histories = ens.train_round(X, np.random.default_rng(0).uniform(
+            size=X.shape[0]))
+        assert len(histories) == 3
+        assert all(h.epoch_losses for h in histories)
+
+    def test_first_round_gets_more_epochs(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(hidden=8, epochs=1, batch_size=64,
+                           min_steps_per_round=4, first_round_steps=40,
+                           random_state=0).initialize(X)
+        y = np.random.default_rng(0).uniform(size=X.shape[0])
+        first = ens.train_round(X, y)
+        second = ens.train_round(X, y)
+        assert len(first[0].epoch_losses) > len(second[0].epoch_losses)
+
+    def test_label_length_mismatch(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        with pytest.raises(ValueError):
+            ens.train_round(X, np.zeros(3))
+
+    def test_learns_labels(self, small_dataset):
+        X, _ = small_dataset
+        target = (X[:, 0] > 0).astype(float)
+        ens = FoldEnsemble(hidden=16, min_steps_per_round=150,
+                           first_round_steps=300,
+                           random_state=0).initialize(X)
+        for _ in range(3):
+            ens.train_round(X, target)
+        pred = ens.predict(X)
+        assert np.corrcoef(pred, target)[0, 1] > 0.8
+
+
+class TestPredict:
+    def test_average_of_folds(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        per_fold = ens.predict_per_fold(X)
+        np.testing.assert_allclose(ens.predict(X), per_fold.mean(axis=1))
+
+    def test_per_fold_shape(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        assert ens.predict_per_fold(X).shape == (X.shape[0], 3)
+
+    def test_predict_before_init_raises(self, small_dataset):
+        X, _ = small_dataset
+        with pytest.raises(RuntimeError):
+            FoldEnsemble(**FAST_ENSEMBLE).predict(X)
+
+    def test_outputs_in_unit_interval(self, small_dataset):
+        X, _ = small_dataset
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        pred = ens.predict(X * 100)
+        assert np.all(pred >= 0) and np.all(pred <= 1)
+
+    def test_deterministic(self, small_dataset):
+        X, _ = small_dataset
+        y = np.random.default_rng(1).uniform(size=X.shape[0])
+
+        def run():
+            ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=5).initialize(X)
+            ens.train_round(X, y)
+            return ens.predict(X)
+
+        np.testing.assert_allclose(run(), run())

@@ -1,0 +1,74 @@
+"""Tests for pseudo-label update rules, including the error-correction
+direction property (Table II case analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import self_update, variance_update
+
+
+class TestVarianceUpdate:
+    def test_output_in_unit_interval(self):
+        out = variance_update([0.1, 0.9], [0.05, 0.2])
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_variance_is_rescale_only(self):
+        y = np.array([0.2, 0.4, 0.8])
+        out = variance_update(y, np.zeros(3))
+        np.testing.assert_allclose(out, (y - 0.2) / 0.6)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            variance_update([0.5, 0.5], [0.1, -0.1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            variance_update([0.5], [0.1, 0.2])
+
+    def test_table2_error_correction_direction(self):
+        """The paper's case analysis: after the update,
+        - FN (low label, high variance) must move up relative to TN;
+        - FP (high label, low variance) must move down relative to TP."""
+        #            TP    FN    FP    TN
+        y = np.array([0.9, 0.1, 0.9, 0.1])
+        v = np.array([0.20, 0.20, 0.02, 0.02])
+        out = variance_update(y, v)
+        fn_minus_tn = out[1] - out[3]
+        tp_minus_fp = out[0] - out[2]
+        assert fn_minus_tn > 0            # FN rises above TN
+        assert tp_minus_fp > 0            # FP falls below TP
+        # Old gaps were zero; the update opened them.
+        assert fn_minus_tn == pytest.approx(tp_minus_fp)
+
+    def test_repeated_updates_flip_fn_above_fp(self):
+        """Iterating the update eventually inverts FN/FP ordering, which is
+        the paper's definition of error correction."""
+        y = np.array([0.95, 0.05, 0.90, 0.10])  # TP, FN, FP, TN
+        v = np.array([0.20, 0.20, 0.02, 0.02])
+        for _ in range(30):
+            y = variance_update(y, v)
+        assert y[1] > y[2]  # FN now scores above FP
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.uniform(size=12)
+        v = rng.uniform(0, 0.25, size=12)
+        out = variance_update(y, v)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestSelfUpdate:
+    def test_is_minmax(self):
+        out = self_update([0.2, 0.6, 0.4])
+        np.testing.assert_allclose(out, [0.0, 1.0, 0.5])
+
+    def test_constant_input(self):
+        np.testing.assert_array_equal(self_update([0.5, 0.5]), [0.0, 0.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            self_update([0.5, np.nan])

@@ -1,0 +1,100 @@
+"""Tests for variance estimation — UADB's correction signal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.variance import (
+    group_variance_gap,
+    instance_variance,
+    variance_history,
+)
+
+
+class TestInstanceVariance:
+    def test_constant_rows_zero(self):
+        preds = np.tile([[0.3]], (5, 4))
+        np.testing.assert_array_equal(instance_variance(preds), np.zeros(5))
+
+    def test_known_value(self):
+        preds = np.array([[0.0, 1.0]])
+        assert instance_variance(preds)[0] == pytest.approx(0.25)
+
+    def test_single_column_zero(self):
+        assert instance_variance(np.array([0.1, 0.9]))[0] == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            instance_variance(np.array([[np.nan, 1.0]]))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            instance_variance(np.zeros((2, 2, 2)))
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        preds = rng.uniform(size=(int(rng.integers(1, 20)),
+                                  int(rng.integers(1, 8))))
+        v = instance_variance(preds)
+        assert np.all(v >= 0)
+        assert np.all(v <= 0.25 + 1e-12)  # max variance of values in [0,1]
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        preds = rng.uniform(size=(6, 4))
+        np.testing.assert_allclose(
+            instance_variance(preds), instance_variance(preds + 3.0),
+            atol=1e-12)
+
+
+class TestVarianceHistory:
+    def test_combines_labels_and_student(self):
+        labels = np.array([[0.0], [0.5]])
+        student = np.array([1.0, 0.5])
+        v = variance_history(labels, student)
+        assert v[0] == pytest.approx(0.25)
+        assert v[1] == pytest.approx(0.0)
+
+    def test_accepts_multi_column_student(self):
+        labels = np.array([[0.5], [0.5]])
+        per_fold = np.array([[0.4, 0.6], [0.5, 0.5]])
+        v = variance_history(labels, per_fold)
+        assert v[0] > v[1]
+
+    def test_1d_labels_accepted(self):
+        v = variance_history(np.array([0.1, 0.9]), np.array([0.1, 0.9]))
+        np.testing.assert_allclose(v, 0.0)
+
+    def test_row_mismatch(self):
+        with pytest.raises(ValueError):
+            variance_history(np.zeros((3, 1)), np.zeros(2))
+
+
+class TestGroupVarianceGap:
+    def test_negative_when_anomalies_vary_more(self):
+        v = np.array([0.01, 0.01, 0.5, 0.5])
+        y = np.array([0, 0, 1, 1])
+        assert group_variance_gap(v, y) < 0
+
+    def test_positive_when_normals_vary_more(self):
+        v = np.array([0.5, 0.5, 0.01, 0.01])
+        y = np.array([0, 0, 1, 1])
+        assert group_variance_gap(v, y) > 0
+
+    def test_known_value(self):
+        v = np.array([0.1, 0.2])
+        y = np.array([0, 1])
+        assert group_variance_gap(v, y) == pytest.approx((0.1 - 0.2) / 0.2)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            group_variance_gap(np.ones(3), np.ones(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            group_variance_gap(np.ones(3), np.ones(2))

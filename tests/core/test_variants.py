@@ -1,0 +1,111 @@
+"""Tests for the four alternative booster frameworks (Table VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.variants import (
+    VARIANT_CLASSES,
+    DiscrepancyBooster,
+    DiscrepancyStarBooster,
+    NaiveBooster,
+    SelfBooster,
+    make_variant,
+)
+from repro.detectors import IForest
+from tests.conftest import FAST_BOOSTER
+
+FAST_VARIANT = {k: v for k, v in FAST_BOOSTER.items()}
+
+
+@pytest.fixture(scope="module")
+def source_scores(small_dataset):
+    X, _ = small_dataset
+    return IForest(random_state=0).fit(X).fit_scores()
+
+
+class TestRegistry:
+    def test_four_variants(self):
+        assert set(VARIANT_CLASSES) == {
+            "naive", "discrepancy", "self", "discrepancy_star"}
+
+    def test_make_variant(self):
+        assert isinstance(make_variant("naive"), NaiveBooster)
+        assert isinstance(make_variant("discrepancy"), DiscrepancyBooster)
+        assert isinstance(make_variant("self"), SelfBooster)
+        assert isinstance(make_variant("discrepancy_star"),
+                          DiscrepancyStarBooster)
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            make_variant("quantum")
+
+
+@pytest.mark.parametrize("name", sorted(VARIANT_CLASSES))
+class TestVariantContract:
+    def test_fit_produces_scores(self, name, small_dataset, source_scores):
+        X, _ = small_dataset
+        model = make_variant(name, **FAST_VARIANT, random_state=0)
+        model.fit(X, source_scores)
+        assert model.scores_.shape == (X.shape[0],)
+        assert np.all(np.isfinite(model.scores_))
+
+    def test_deterministic(self, name, small_dataset, source_scores):
+        X, _ = small_dataset
+        a = make_variant(name, **FAST_VARIANT, random_state=4)
+        b = make_variant(name, **FAST_VARIANT, random_state=4)
+        np.testing.assert_allclose(
+            a.fit(X, source_scores).scores_,
+            b.fit(X, source_scores).scores_)
+
+    def test_invalid_iterations(self, name):
+        with pytest.raises(ValueError):
+            make_variant(name, n_iterations=0)
+
+
+class TestVariantSemantics:
+    def test_naive_mimics_teacher(self, small_dataset, source_scores):
+        """Static distillation without correction tracks the teacher."""
+        X, _ = small_dataset
+        model = NaiveBooster(n_iterations=3, hidden=32, random_state=0)
+        model.fit(X, source_scores)
+        assert np.corrcoef(model.scores_, source_scores)[0, 1] > 0.7
+
+    def test_discrepancy_scores_are_deviations(self, small_dataset,
+                                               source_scores):
+        X, _ = small_dataset
+        model = DiscrepancyBooster(**FAST_VARIANT, random_state=0)
+        model.fit(X, source_scores)
+        student = model._ensemble.predict(X)
+        expected = np.std(np.column_stack([source_scores, student]), axis=1)
+        np.testing.assert_allclose(model.scores_, expected)
+
+    def test_discrepancy_score_samples_requires_training_data(
+            self, small_dataset, source_scores):
+        X, _ = small_dataset
+        model = DiscrepancyBooster(**FAST_VARIANT, random_state=0)
+        model.fit(X, source_scores)
+        with pytest.raises(ValueError, match="training data"):
+            model.score_samples(X[:5])
+
+    def test_self_booster_labels_evolve(self, small_dataset, source_scores):
+        """Self booster replaces labels each round; its final output need
+        not track the teacher as closely as the naive booster."""
+        X, _ = small_dataset
+        naive = NaiveBooster(**FAST_VARIANT, random_state=0)
+        self_b = SelfBooster(**FAST_VARIANT, random_state=0)
+        naive.fit(X, source_scores)
+        self_b.fit(X, source_scores)
+        assert not np.allclose(naive.scores_, self_b.scores_)
+
+    def test_non_discrepancy_score_samples_on_new_data(
+            self, small_dataset, source_scores):
+        X, _ = small_dataset
+        model = SelfBooster(**FAST_VARIANT, random_state=0)
+        model.fit(X, source_scores)
+        out = model.score_samples(X[:4] * 1.01)
+        assert out.shape == (4,)
+
+    def test_unfitted_raises(self, small_dataset):
+        X, _ = small_dataset
+        with pytest.raises(RuntimeError):
+            NaiveBooster(**FAST_VARIANT).score_samples(X)

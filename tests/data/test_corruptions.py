@@ -1,0 +1,138 @@
+"""Tests for failure-injection corruptions + detector robustness checks."""
+
+import numpy as np
+import pytest
+
+from repro.data.corruptions import (
+    with_constant_features,
+    with_duplicate_rows,
+    with_extreme_outliers,
+    with_label_noise,
+    with_missing_values_imputed,
+)
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_anomaly_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_anomaly_dataset("global", n_inliers=90, n_anomalies=10,
+                                n_features=4, random_state=0)
+
+
+class TestDuplicateRows:
+    def test_count(self, dataset):
+        out = with_duplicate_rows(dataset, fraction=0.2, random_state=0)
+        assert out.n_samples == 120
+        assert out.metadata["duplicated"] == 20
+
+    def test_zero_fraction_noop(self, dataset):
+        assert with_duplicate_rows(dataset, fraction=0.0) is dataset
+
+    def test_labels_copied_with_rows(self, dataset):
+        out = with_duplicate_rows(dataset, fraction=0.5, random_state=0)
+        # Every appended row must exist in the original with the same label.
+        for row, label in zip(out.X[dataset.n_samples:],
+                              out.y[dataset.n_samples:]):
+            matches = np.flatnonzero((dataset.X == row).all(axis=1))
+            assert matches.size > 0
+            assert label in dataset.y[matches]
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            with_duplicate_rows(dataset, fraction=1.5)
+
+
+class TestConstantFeatures:
+    def test_columns_constant(self, dataset):
+        out = with_constant_features(dataset, n_features=2, value=7.0,
+                                     random_state=0)
+        cols = out.metadata["constant_features"]
+        assert len(cols) == 2
+        for c in cols:
+            assert np.all(out.X[:, c] == 7.0)
+
+    def test_original_untouched(self, dataset):
+        before = dataset.X.copy()
+        with_constant_features(dataset, n_features=1, random_state=0)
+        np.testing.assert_array_equal(dataset.X, before)
+
+    def test_detectors_survive_constant_columns(self, dataset):
+        """HBOS / IForest must not crash on zero-variance features."""
+        from repro.detectors import HBOS, IForest
+        out = with_constant_features(dataset, n_features=2, random_state=0)
+        X = StandardScaler().fit_transform(out.X)
+        for det in (HBOS(), IForest(random_state=0)):
+            det.fit(X)
+            assert np.all(np.isfinite(det.decision_scores_))
+
+    def test_bounds(self, dataset):
+        with pytest.raises(ValueError):
+            with_constant_features(dataset, n_features=99)
+
+
+class TestExtremeOutliers:
+    def test_cells_set(self, dataset):
+        out = with_extreme_outliers(dataset, n_cells=3, magnitude=1e6,
+                                    random_state=0)
+        assert np.sum(np.abs(out.X) >= 1e6) >= 1
+
+    def test_booster_survives_glitches(self, dataset):
+        """The booster pipeline must stay finite under wild cell values."""
+        from repro.core import UADBooster
+        from repro.detectors import IForest
+        out = with_extreme_outliers(dataset, n_cells=4, random_state=0)
+        X = StandardScaler().fit_transform(out.X)
+        source = IForest(random_state=0).fit(X)
+        booster = UADBooster(n_iterations=2, hidden=16,
+                             epochs_per_iteration=2, random_state=0)
+        booster.fit(X, source)
+        assert np.all(np.isfinite(booster.scores_))
+
+    def test_negative_cells_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            with_extreme_outliers(dataset, n_cells=-1)
+
+
+class TestLabelNoise:
+    def test_flip_count(self, dataset):
+        out = with_label_noise(dataset, flip_fraction=0.1, random_state=0)
+        assert np.sum(out.y != dataset.y) == 10
+
+    def test_features_untouched(self, dataset):
+        out = with_label_noise(dataset, flip_fraction=0.1, random_state=0)
+        np.testing.assert_array_equal(out.X, dataset.X)
+
+
+class TestMissingImputed:
+    def test_no_nans(self, dataset):
+        out = with_missing_values_imputed(dataset, fraction=0.3,
+                                          random_state=0)
+        assert np.all(np.isfinite(out.X))
+
+    def test_imputed_fraction_recorded(self, dataset):
+        out = with_missing_values_imputed(dataset, fraction=0.2,
+                                          random_state=0)
+        assert 0.1 < out.metadata["imputed_fraction"] < 0.3
+
+    def test_full_missingness_still_finite(self, dataset):
+        out = with_missing_values_imputed(dataset, fraction=1.0,
+                                          random_state=0)
+        assert np.all(np.isfinite(out.X))
+
+    def test_detector_degrades_gracefully(self, dataset):
+        """Moderate imputation lowers but does not destroy detection."""
+        from repro.detectors import IForest
+        from repro.metrics import auc_roc
+        clean_X = StandardScaler().fit_transform(dataset.X)
+        clean_auc = auc_roc(
+            dataset.y,
+            IForest(random_state=0).fit(clean_X).decision_scores_)
+        corrupted = with_missing_values_imputed(dataset, fraction=0.2,
+                                                random_state=0)
+        dirty_X = StandardScaler().fit_transform(corrupted.X)
+        dirty_auc = auc_roc(
+            dataset.y,
+            IForest(random_state=0).fit(dirty_X).decision_scores_)
+        assert dirty_auc > 0.5
+        assert dirty_auc <= clean_auc + 0.1

@@ -1,0 +1,65 @@
+"""Tests for the stand-in generative families."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_standin
+from repro.data.registry import get_spec
+
+
+class TestGenerateStandin:
+    def test_basic_shape(self):
+        ds = generate_standin(get_spec("cardio"), n_samples=200,
+                              n_features=10, seed=1)
+        assert ds.X.shape == (200, 10)
+        assert ds.y.shape == (200,)
+
+    def test_seed_determinism(self):
+        spec = get_spec("glass")
+        a = generate_standin(spec, 150, 6, seed=9)
+        b = generate_standin(spec, 150, 6, seed=9)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_seed_sensitivity(self):
+        spec = get_spec("glass")
+        a = generate_standin(spec, 150, 6, seed=1)
+        b = generate_standin(spec, 150, 6, seed=2)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_anomaly_count_tracks_rate(self):
+        spec = get_spec("Parkinson")  # 75.38% anomalies
+        ds = generate_standin(spec, 200, 8, seed=0)
+        assert ds.n_anomalies == pytest.approx(151, abs=2)
+
+    def test_type_counts_sum(self):
+        ds = generate_standin(get_spec("satellite"), 300, 12, seed=0)
+        counts = ds.metadata["type_counts"]
+        assert sum(counts.values()) == ds.n_anomalies
+        assert set(counts) == {"local", "global", "clustered", "dependency"}
+
+    def test_heterogeneous_feature_scales(self):
+        """Non-embedding stand-ins must have wildly differing feature
+        ranges — the paper's tabular-heterogeneity property."""
+        ds = generate_standin(get_spec("abalone"), 400, 12, seed=0)
+        spans = ds.X.max(axis=0) - ds.X.min(axis=0)
+        assert spans.max() / spans.min() > 3.0
+
+    def test_embedding_style_homogeneous(self):
+        ds = generate_standin(get_spec("yelp"), 400, 12, seed=0)
+        assert ds.metadata["embedding_style"]
+        spans = ds.X.max(axis=0) - ds.X.min(axis=0)
+        assert spans.max() / spans.min() < 10.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_standin(get_spec("glass"), 5, 4, seed=0)
+        with pytest.raises(ValueError):
+            generate_standin(get_spec("glass"), 100, 1, seed=0)
+
+    def test_difficulty_recorded(self):
+        ds = generate_standin(get_spec("wine"), 100, 5, seed=0)
+        assert 0.0 < ds.metadata["difficulty"] < 3.0
+
+    def test_noise_features_within_bounds(self):
+        ds = generate_standin(get_spec("wine"), 100, 10, seed=0)
+        assert 0 <= ds.metadata["n_noise_features"] <= 10

@@ -1,0 +1,64 @@
+"""Tests for dataset persistence (.npz / .csv round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    dataset_from_csv,
+    dataset_to_csv,
+    load_dataset_file,
+    save_dataset,
+)
+from repro.data.synthetic import make_anomaly_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_anomaly_dataset("global", n_inliers=40, n_anomalies=8,
+                                n_features=3, random_state=0)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset_file(path)
+        np.testing.assert_array_equal(loaded.X, dataset.X)
+        np.testing.assert_array_equal(loaded.y, dataset.y)
+        assert loaded.name == dataset.name
+        assert loaded.metadata["anomaly_type"] == "global"
+
+    def test_suffix_added(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "plain")
+        assert path.suffix == ".npz"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_file(tmp_path / "nothing.npz")
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = dataset_to_csv(dataset, tmp_path / "ds.csv")
+        loaded = dataset_from_csv(path)
+        np.testing.assert_allclose(loaded.X, dataset.X)
+        np.testing.assert_array_equal(loaded.y, dataset.y)
+
+    def test_header(self, dataset, tmp_path):
+        path = dataset_to_csv(dataset, tmp_path / "ds.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "f0,f1,f2,label"
+
+    def test_custom_name(self, dataset, tmp_path):
+        path = dataset_to_csv(dataset, tmp_path / "ds.csv")
+        loaded = dataset_from_csv(path, name="renamed")
+        assert loaded.name == "renamed"
+
+    def test_missing_label_column(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1.0,2.0\n")
+        with pytest.raises(ValueError, match="no 'label'"):
+            dataset_from_csv(bad)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            dataset_from_csv(tmp_path / "nothing.csv")

@@ -1,0 +1,139 @@
+"""Tests for scalers and the k-fold splitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.preprocessing import (
+    KFoldSplitter,
+    MinMaxScaler,
+    StandardScaler,
+    minmax_scale,
+)
+
+
+def random_matrix(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 40))
+    d = int(rng.integers(1, 6))
+    return rng.normal(0, rng.uniform(0.5, 20), size=(n, d))
+
+
+class TestMinMaxScaleFunction:
+    def test_bounds(self):
+        out = minmax_scale(np.array([3.0, 7.0, 5.0]))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_maps_to_zero(self):
+        out = minmax_scale(np.full(5, 2.5))
+        np.testing.assert_array_equal(out, np.zeros(5))
+
+    def test_preserves_order(self):
+        values = np.array([5.0, 1.0, 3.0])
+        out = minmax_scale(values)
+        assert np.array_equal(np.argsort(out), np.argsort(values))
+
+    def test_columnwise_on_matrix(self):
+        X = np.array([[0.0, 10.0], [2.0, 20.0]])
+        out = minmax_scale(X)
+        np.testing.assert_array_equal(out, [[0.0, 0.0], [1.0, 1.0]])
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_always_in_unit_interval(self, seed):
+        out = minmax_scale(random_matrix(seed))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestMinMaxScaler:
+    def test_fit_transform_bounds(self):
+        X = random_matrix(1)
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self):
+        out = MinMaxScaler(feature_range=(-1, 1)).fit_transform(
+            np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(out.ravel(), [-1.0, 1.0])
+
+    def test_transform_new_data_consistent(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[5.0]]))
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        scaler = MinMaxScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((3, 3)))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 0))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = random_matrix(2)
+        out = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        X = np.ones((5, 2))
+        out = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_array_equal(out, np.zeros((5, 2)))
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        out = scaler.transform(np.array([[1.0]]))
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])
+
+
+class TestKFoldSplitter:
+    def test_partition_properties(self):
+        splitter = KFoldSplitter(n_splits=3, random_state=0)
+        folds = list(splitter.split(20))
+        assert len(folds) == 3
+        all_test = np.sort(np.concatenate([test for _, test in folds]))
+        np.testing.assert_array_equal(all_test, np.arange(20))
+
+    def test_train_test_disjoint(self):
+        for train_idx, test_idx in KFoldSplitter(3, random_state=1).split(17):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            assert len(train_idx) + len(test_idx) == 17
+
+    def test_deterministic_with_seed(self):
+        a = list(KFoldSplitter(3, random_state=5).split(12))
+        b = list(KFoldSplitter(3, random_state=5).split(12))
+        for (ta, _), (tb, _) in zip(a, b):
+            np.testing.assert_array_equal(ta, tb)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFoldSplitter(3).split(2))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFoldSplitter(1)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_fold_sizes_balanced(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 100))
+        k = int(rng.integers(2, min(6, n)))
+        sizes = [len(test) for _, test in
+                 KFoldSplitter(k, random_state=seed).split(n)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n

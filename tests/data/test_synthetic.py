@@ -1,0 +1,153 @@
+"""Tests for the four synthetic anomaly-type generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ANOMALY_TYPES,
+    Dataset,
+    make_anomaly_dataset,
+    make_clustered_anomalies,
+    make_dependency_anomalies,
+    make_global_anomalies,
+    make_inliers,
+    make_local_anomalies,
+)
+
+
+class TestDataset:
+    def test_properties(self):
+        ds = Dataset(np.zeros((10, 3)), np.array([1] * 2 + [0] * 8))
+        assert ds.n_samples == 10
+        assert ds.n_features == 3
+        assert ds.n_anomalies == 2
+        assert ds.contamination == pytest.approx(0.2)
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError, match="only 0 and 1"):
+            Dataset(np.zeros((2, 2)), np.array([0, 2]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_subsample_stratified(self):
+        ds = make_anomaly_dataset("global", n_inliers=900, n_anomalies=100,
+                                  random_state=0)
+        sub = ds.subsample(100, random_state=0)
+        assert sub.n_samples == 100
+        # Contamination approximately preserved.
+        assert abs(sub.contamination - ds.contamination) < 0.05
+
+    def test_subsample_noop_when_larger(self):
+        ds = make_anomaly_dataset("global", n_inliers=50, n_anomalies=10,
+                                  random_state=0)
+        assert ds.subsample(1000) is ds
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("anomaly_type", ANOMALY_TYPES)
+    def test_counts_and_labels(self, anomaly_type):
+        ds = make_anomaly_dataset(anomaly_type, n_inliers=90, n_anomalies=10,
+                                  n_features=3, random_state=0)
+        assert ds.n_samples == 100
+        assert ds.n_anomalies == 10
+        assert ds.n_features == 3
+        assert ds.metadata["anomaly_type"] == anomaly_type
+
+    @pytest.mark.parametrize("anomaly_type", ANOMALY_TYPES)
+    def test_deterministic(self, anomaly_type):
+        a = make_anomaly_dataset(anomaly_type, random_state=42)
+        b = make_anomaly_dataset(anomaly_type, random_state=42)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    @pytest.mark.parametrize("anomaly_type", ANOMALY_TYPES)
+    def test_seeds_differ(self, anomaly_type):
+        a = make_anomaly_dataset(anomaly_type, random_state=1)
+        b = make_anomaly_dataset(anomaly_type, random_state=2)
+        assert not np.array_equal(a.X, b.X)
+
+    @pytest.mark.parametrize("anomaly_type", ANOMALY_TYPES)
+    def test_finite(self, anomaly_type):
+        ds = make_anomaly_dataset(anomaly_type, random_state=0)
+        assert np.all(np.isfinite(ds.X))
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown anomaly_type"):
+            make_anomaly_dataset("weird")
+
+    def test_shuffled_labels(self):
+        """Anomalies must not all sit at the end of the arrays."""
+        ds = make_anomaly_dataset("global", n_inliers=90, n_anomalies=10,
+                                  random_state=0)
+        positions = np.flatnonzero(ds.y == 1)
+        assert positions.min() < 80
+
+
+class TestAnomalyGeometry:
+    def test_clustered_anomalies_are_tight_and_far(self):
+        ds = make_clustered_anomalies(n_inliers=200, n_anomalies=30,
+                                      random_state=0)
+        inliers = ds.X[ds.y == 0]
+        anomalies = ds.X[ds.y == 1]
+        # Tight: anomaly spread (around its own centre, per feature) is much
+        # smaller than the inlier spread.
+        assert anomalies.std(axis=0).mean() < inliers.std(axis=0).mean()
+        # Far: the anomaly centroid is outside the inlier point cloud.
+        dist = np.linalg.norm(anomalies.mean(axis=0) - inliers.mean(axis=0))
+        assert dist > 2 * inliers.std()
+
+    def test_global_anomalies_wider_than_inliers(self):
+        ds = make_global_anomalies(n_inliers=300, n_anomalies=60,
+                                   random_state=0)
+        inliers = ds.X[ds.y == 0]
+        anomalies = ds.X[ds.y == 1]
+        assert np.abs(anomalies).max() > np.abs(inliers).max()
+
+    def test_local_anomalies_share_region_with_higher_spread(self):
+        ds = make_local_anomalies(n_inliers=400, n_anomalies=80, scale=4.0,
+                                  random_state=0)
+        inliers = ds.X[ds.y == 0]
+        anomalies = ds.X[ds.y == 1]
+        # Same general region (means near each other)...
+        offset = np.linalg.norm(anomalies.mean(axis=0) - inliers.mean(axis=0))
+        assert offset < 2 * inliers.std()
+        # ...but clearly wider spread.
+        assert anomalies.std() > 1.5 * inliers.std()
+
+    def test_dependency_anomalies_preserve_marginals_break_correlation(self):
+        ds = make_dependency_anomalies(n_inliers=800, n_anomalies=200,
+                                       n_features=2, random_state=0)
+        inliers = ds.X[ds.y == 0]
+        anomalies = ds.X[ds.y == 1]
+        corr_in = np.corrcoef(inliers.T)[0, 1]
+        corr_out = np.corrcoef(anomalies.T)[0, 1]
+        assert corr_in > 0.7
+        assert abs(corr_out) < 0.4
+        # Marginal spread comparable (values drawn from inlier marginals).
+        ratio = anomalies.std(axis=0) / inliers.std(axis=0)
+        assert np.all(ratio > 0.6) and np.all(ratio < 1.6)
+
+    def test_dependency_requires_2d(self):
+        with pytest.raises(ValueError):
+            make_dependency_anomalies(n_features=1)
+
+
+class TestMakeInliers:
+    def test_shape(self):
+        out = make_inliers(50, n_features=3, random_state=0)
+        assert out.shape == (50, 3)
+
+    def test_cluster_count_effect(self):
+        single = make_inliers(500, n_clusters=1, random_state=0)
+        multi = make_inliers(500, n_clusters=4, center_box=8.0,
+                             random_state=0)
+        # Multi-cluster data is more spread out on average.
+        assert multi.std() > single.std()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_inliers(0)
+        with pytest.raises(ValueError):
+            make_inliers(5, n_clusters=0)

@@ -1,0 +1,132 @@
+"""Contract tests run against every one of the 14 detectors.
+
+These check the shared BaseDetector API: score shapes, [0, 1] scaling,
+out-of-sample scoring, predict semantics, error handling — and a behavioural
+floor: every detector must beat random ranking on an easy clustered-anomaly
+dataset (AUC > 0.6), since remote dense anomaly clusters are only hard for
+neighbour-based methods *with small k*, not for any of our configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_global_anomalies
+from repro.detectors.registry import DETECTOR_NAMES, make_detector
+from repro.metrics.ranking import auc_roc
+
+
+@pytest.fixture(scope="module")
+def easy_data():
+    """Global (scattered, far) anomalies: every assumption family catches
+    at least most of them."""
+    ds = make_global_anomalies(n_inliers=180, n_anomalies=20, n_features=3,
+                               random_state=5)
+    X = StandardScaler().fit_transform(ds.X)
+    return X, ds.y
+
+
+@pytest.fixture(scope="module")
+def fitted(easy_data):
+    X, y = easy_data
+    models = {}
+    for name in DETECTOR_NAMES:
+        models[name] = make_detector(name, random_state=0).fit(X)
+    return models
+
+
+@pytest.mark.parametrize("name", DETECTOR_NAMES)
+class TestDetectorContract:
+    def test_fit_returns_self(self, name, easy_data):
+        X, _ = easy_data
+        det = make_detector(name, random_state=0)
+        assert det.fit(X) is det
+
+    def test_decision_scores_shape(self, name, fitted, easy_data):
+        X, _ = easy_data
+        scores = fitted[name].decision_scores_
+        assert scores.shape == (X.shape[0],)
+        assert np.all(np.isfinite(scores))
+
+    def test_fit_scores_unit_interval(self, name, fitted):
+        scores = fitted[name].fit_scores()
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+        assert scores.max() == pytest.approx(1.0)
+        assert scores.min() == pytest.approx(0.0)
+
+    def test_score_samples_clipped(self, name, fitted, easy_data, rng):
+        X, _ = easy_data
+        far = rng.normal(size=(5, X.shape[1])) * 50
+        scores = fitted[name].score_samples(far)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+
+    def test_out_of_sample_scoring(self, name, fitted, easy_data):
+        X, _ = easy_data
+        scores = fitted[name].decision_function(X[:10])
+        if name in ("LOF", "KNN", "COF", "SOD"):
+            # Neighbour-based detectors exclude each training point from its
+            # own neighbourhood during fit, but a query point that happens
+            # to coincide with a training point legitimately matches itself.
+            # Exact equality therefore does not hold; the ranking must still
+            # broadly agree.
+            assert np.all(np.isfinite(scores))
+            corr = np.corrcoef(scores,
+                               fitted[name].decision_scores_[:10])[0, 1]
+            assert corr > 0.5
+        else:
+            np.testing.assert_allclose(
+                scores, fitted[name].decision_scores_[:10], rtol=1e-6,
+                atol=1e-8)
+
+    def test_beats_random_on_easy_data(self, name, fitted, easy_data):
+        _, y = easy_data
+        auc = auc_roc(y, fitted[name].decision_scores_)
+        assert auc > 0.6, f"{name} scored AUC {auc:.3f} on easy data"
+
+    def test_predict_binary(self, name, fitted, easy_data):
+        X, _ = easy_data
+        labels = fitted[name].predict(X)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_predict_flags_contamination_fraction(self, name, fitted,
+                                                  easy_data):
+        X, _ = easy_data
+        labels = fitted[name].fit_predict(X) if False else (
+            fitted[name].decision_scores_ > fitted[name].threshold_)
+        flagged = labels.mean()
+        assert 0.0 < flagged <= 0.2 + 0.05  # contamination default 0.1
+
+    def test_unfitted_raises(self, name):
+        det = make_detector(name, random_state=0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            det.decision_function(np.zeros((2, 3)))
+
+    def test_feature_mismatch_raises(self, name, fitted):
+        with pytest.raises(ValueError, match="features"):
+            fitted[name].decision_function(np.zeros((2, 9)))
+
+    def test_invalid_contamination(self, name):
+        cls = type(make_detector(name))
+        with pytest.raises(ValueError):
+            cls(contamination=0.0)
+
+    def test_deterministic_given_seed(self, name, easy_data):
+        X, _ = easy_data
+        a = make_detector(name, random_state=11).fit(X).decision_scores_
+        b = make_detector(name, random_state=11).fit(X).decision_scores_
+        np.testing.assert_allclose(a, b)
+
+
+def test_registry_has_14_models():
+    assert len(DETECTOR_NAMES) == 14
+
+
+def test_registry_order_matches_paper():
+    assert DETECTOR_NAMES == (
+        "IForest", "HBOS", "LOF", "KNN", "PCA", "OCSVM", "CBLOF", "COF",
+        "SOD", "ECOD", "GMM", "LODA", "COPOD", "DeepSVDD")
+
+
+def test_unknown_detector():
+    with pytest.raises(KeyError):
+        make_detector("SuperAD")

@@ -1,0 +1,100 @@
+"""Property-based invariance tests for detector families.
+
+Each detector family has mathematical invariances that must hold exactly:
+distance-based scores are translation-invariant, ECDF-based scores are
+invariant under strictly monotone per-feature transforms, and so on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import ECOD, HBOS, KNN, LOF, COPOD, PCA
+from repro.metrics.ranking import auc_roc
+
+
+def small_data(seed, n=60, d=3):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d))
+
+
+class TestTranslationInvariance:
+    """Euclidean-distance detectors must ignore a constant shift."""
+
+    @pytest.mark.parametrize("cls", [KNN, LOF])
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_shift(self, cls, seed):
+        X = small_data(seed)
+        shifted = X + 123.4
+        a = cls().fit(X).decision_scores_
+        b = cls().fit(shifted).decision_scores_
+        np.testing.assert_allclose(a, b, rtol=1e-6, atol=1e-8)
+
+
+class TestMonotoneInvariance:
+    """Per-feature ECDF detectors depend only on within-column ranks."""
+
+    @pytest.mark.parametrize("cls", [ECOD, COPOD])
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_positive_affine_transform_is_exact_noop(self, cls, seed):
+        """Positive affine maps preserve both the per-column ranks (hence
+        every ECDF tail probability) and the skewness sign (hence the
+        automatic tail choice), so the scores must be identical.  A general
+        nonlinear monotone map may flip a column's skewness sign and
+        legitimately change the max-of-aggregates, so exactness is only
+        promised for the affine case."""
+        X = small_data(seed)
+        transformed = 2.5 * X + 7.0
+        a = cls().fit(X).decision_scores_
+        b = cls().fit(transformed).decision_scores_
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+class TestScaleEquivariance:
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_knn_scores_scale_linearly(self, seed):
+        X = small_data(seed)
+        a = KNN().fit(X).decision_scores_
+        b = KNN().fit(3.0 * X).decision_scores_
+        np.testing.assert_allclose(3.0 * a, b, rtol=1e-8)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_lof_scores_scale_invariant(self, seed):
+        """LOF is a density *ratio*, so uniform scaling cancels."""
+        X = small_data(seed)
+        a = LOF().fit(X).decision_scores_
+        b = LOF().fit(5.0 * X).decision_scores_
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+
+class TestPermutationInvariance:
+    """Deterministic detectors must not care about row order."""
+
+    @pytest.mark.parametrize("cls", [KNN, LOF, HBOS, ECOD, COPOD, PCA])
+    def test_row_shuffle(self, cls):
+        rng = np.random.default_rng(7)
+        X = small_data(3, n=50)
+        perm = rng.permutation(50)
+        a = cls().fit(X).decision_scores_
+        b = cls().fit(X[perm]).decision_scores_
+        np.testing.assert_allclose(a[perm], b, rtol=1e-6, atol=1e-9)
+
+
+class TestAucConsistency:
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_obvious_outlier_ranks_top_for_all_families(self, seed):
+        """A single extreme point must land in the top ranks for every
+        deterministic detector family."""
+        X = small_data(seed, n=80)
+        X = np.vstack([X, [[30.0, 30.0, 30.0]]])
+        y = np.zeros(81, dtype=int)
+        y[-1] = 1
+        for cls in (KNN, LOF, HBOS, ECOD, PCA):
+            scores = cls().fit(X).decision_scores_
+            assert auc_roc(y, scores) > 0.95, cls.__name__

@@ -1,0 +1,195 @@
+"""Contract + behaviour tests for the extra (non-paper) detectors."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_global_anomalies
+from repro.detectors import (
+    ABOD,
+    INNE,
+    KDE,
+    MCD,
+    FeatureBagging,
+    Sampling,
+    make_detector,
+)
+from repro.detectors.registry import (
+    ALL_DETECTOR_NAMES,
+    DETECTOR_NAMES,
+    EXTRA_DETECTOR_NAMES,
+)
+from repro.metrics.ranking import auc_roc
+
+
+@pytest.fixture(scope="module")
+def easy_data():
+    ds = make_global_anomalies(n_inliers=180, n_anomalies=20, n_features=3,
+                               random_state=5)
+    X = StandardScaler().fit_transform(ds.X)
+    return X, ds.y
+
+
+class TestRegistryExtension:
+    def test_six_extras(self):
+        assert len(EXTRA_DETECTOR_NAMES) == 6
+
+    def test_all_names_union(self):
+        assert ALL_DETECTOR_NAMES == DETECTOR_NAMES + EXTRA_DETECTOR_NAMES
+
+    def test_paper_set_unchanged(self):
+        assert len(DETECTOR_NAMES) == 14
+        assert not set(EXTRA_DETECTOR_NAMES) & set(DETECTOR_NAMES)
+
+
+@pytest.mark.parametrize("name", EXTRA_DETECTOR_NAMES)
+class TestExtraContract:
+    def test_fit_and_score(self, name, easy_data):
+        X, y = easy_data
+        det = make_detector(name, random_state=0).fit(X)
+        assert det.decision_scores_.shape == (X.shape[0],)
+        assert np.all(np.isfinite(det.decision_scores_))
+        assert auc_roc(y, det.decision_scores_) > 0.6
+
+    def test_fit_scores_unit_interval(self, name, easy_data):
+        X, _ = easy_data
+        det = make_detector(name, random_state=0).fit(X)
+        s = det.fit_scores()
+        assert s.min() == pytest.approx(0.0)
+        assert s.max() == pytest.approx(1.0)
+
+    def test_out_of_sample(self, name, easy_data):
+        X, _ = easy_data
+        det = make_detector(name, random_state=0).fit(X)
+        out = det.decision_function(X[:7] * 1.01)
+        assert out.shape == (7,)
+        assert np.all(np.isfinite(out))
+
+    def test_deterministic(self, name, easy_data):
+        X, _ = easy_data
+        a = make_detector(name, random_state=3).fit(X).decision_scores_
+        b = make_detector(name, random_state=3).fit(X).decision_scores_
+        np.testing.assert_allclose(a, b)
+
+    def test_boostable(self, name, easy_data):
+        from repro.core import UADBooster
+        X, _ = easy_data
+        det = make_detector(name, random_state=0).fit(X)
+        booster = UADBooster(n_iterations=2, hidden=16,
+                             epochs_per_iteration=2, random_state=0)
+        booster.fit(X, det)
+        assert booster.scores_.shape == (X.shape[0],)
+
+
+class TestABOD:
+    def test_fringe_point_low_angle_variance(self, rng):
+        X = np.vstack([rng.normal(size=(100, 2)), [[10.0, 10.0]]])
+        det = ABOD(n_neighbors=10).fit(X)
+        assert det.decision_scores_[-1] == det.decision_scores_.max()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ABOD(n_neighbors=1)
+
+
+class TestMCD:
+    def test_robust_against_masking(self, rng):
+        """A clump of outliers must not drag the covariance estimate."""
+        inliers = rng.normal(size=(150, 2))
+        outliers = rng.normal(8.0, 0.2, size=(20, 2))
+        X = np.vstack([inliers, outliers])
+        y = np.array([0] * 150 + [1] * 20)
+        det = MCD(random_state=0).fit(X)
+        assert auc_roc(y, det.decision_scores_) > 0.95
+
+    def test_scores_are_mahalanobis(self, rng):
+        X = rng.normal(size=(100, 3))
+        det = MCD(random_state=0).fit(X)
+        assert np.all(det.decision_scores_ >= 0)
+
+    def test_invalid_support_fraction(self):
+        with pytest.raises(ValueError):
+            MCD(support_fraction=0.4)
+
+
+class TestKDE:
+    def test_low_density_scores_high(self, rng):
+        X = np.vstack([rng.normal(size=(200, 2)), [[6.0, 6.0]]])
+        det = KDE(random_state=0).fit(X)
+        assert det.decision_scores_[-1] == det.decision_scores_.max()
+
+    def test_explicit_bandwidth(self, rng):
+        det = KDE(bandwidth=0.5, random_state=0).fit(rng.normal(size=(50, 2)))
+        assert det._h == 0.5
+
+    def test_subsample_cap(self, rng):
+        det = KDE(max_train=30, random_state=0).fit(rng.normal(size=(80, 2)))
+        assert det._X_kde.shape[0] == 30
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            KDE(bandwidth=-1.0)
+
+
+class TestINNE:
+    def test_far_point_max_score(self, rng):
+        X = np.vstack([rng.normal(size=(150, 2)), [[50.0, 50.0]]])
+        det = INNE(random_state=0).fit(X)
+        # The far point is covered by (almost) no hypersphere; members that
+        # happen to sample the far point itself contribute slightly less
+        # than 1, so the score is near-but-not-exactly 1.
+        assert det.decision_scores_[-1] == det.decision_scores_.max()
+        assert det.decision_scores_[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_scores_bounded(self, rng):
+        det = INNE(random_state=0).fit(rng.normal(size=(100, 3)))
+        assert det.decision_scores_.max() <= 1.0 + 1e-9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            INNE(max_samples=1)
+
+
+class TestFeatureBagging:
+    def test_robust_to_noise_features(self, rng):
+        """With many irrelevant features, bagged LOF should hold up."""
+        signal = rng.normal(size=(200, 2))
+        outlier = np.array([[5.0, 5.0]])
+        X2 = np.vstack([signal, outlier])
+        noise = rng.normal(size=(201, 8))
+        X = np.hstack([X2, noise])
+        det = FeatureBagging(n_estimators=20, random_state=0).fit(X)
+        assert det.decision_scores_[-1] > np.percentile(
+            det.decision_scores_[:-1], 90)
+
+    def test_custom_base_factory(self, rng):
+        from repro.detectors import KNN
+        det = FeatureBagging(base_factory=lambda: KNN(n_neighbors=3),
+                             n_estimators=5, random_state=0)
+        det.fit(rng.normal(size=(60, 4)))
+        assert len(det._members) == 5
+
+    def test_max_combination(self, rng):
+        det = FeatureBagging(n_estimators=5, combination="max",
+                             random_state=0).fit(rng.normal(size=(60, 4)))
+        assert det.decision_scores_.shape == (60,)
+
+    def test_invalid_combination(self):
+        with pytest.raises(ValueError):
+            FeatureBagging(combination="median")
+
+
+class TestSampling:
+    def test_subset_size_respected(self, rng):
+        det = Sampling(subset_size=10, random_state=0).fit(
+            rng.normal(size=(50, 2)))
+        assert det._subset.shape[0] == 10
+
+    def test_subset_capped_at_n(self, rng):
+        det = Sampling(subset_size=100, random_state=0).fit(
+            rng.normal(size=(30, 2)))
+        assert det._subset.shape[0] == 30
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Sampling(subset_size=0)

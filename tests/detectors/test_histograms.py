@@ -1,0 +1,54 @@
+"""Tests for the shared 1-d histogram density estimator."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.histograms import Histogram1D
+
+
+class TestHistogram1D:
+    def test_peak_density_is_one(self, rng):
+        hist = Histogram1D(n_bins=10).fit(rng.normal(size=1000))
+        assert hist.density_.max() == pytest.approx(1.0)
+
+    def test_dense_region_higher_than_sparse(self, rng):
+        values = np.concatenate([rng.normal(0, 0.1, 900),
+                                 rng.uniform(-5, 5, 100)])
+        hist = Histogram1D(n_bins=20).fit(values)
+        assert hist.density([0.0])[0] > hist.density([4.0])[0]
+
+    def test_out_of_range_gets_floor(self, rng):
+        hist = Histogram1D(outlier_density=1e-9).fit(rng.uniform(0, 1, 100))
+        np.testing.assert_allclose(hist.density([-10.0, 10.0]), 1e-9)
+
+    def test_right_edge_belongs_to_last_bin(self):
+        hist = Histogram1D(n_bins=4).fit(np.linspace(0, 1, 50))
+        assert hist.density([1.0])[0] > 1e-9
+
+    def test_left_edge_belongs_to_first_bin(self):
+        hist = Histogram1D(n_bins=4).fit(np.linspace(0, 1, 50))
+        assert hist.density([0.0])[0] > 1e-9
+
+    def test_constant_data(self):
+        hist = Histogram1D().fit(np.full(20, 3.0))
+        assert hist.density([3.0])[0] == pytest.approx(1.0)
+        assert hist.density([10.0])[0] == pytest.approx(1e-9)
+
+    def test_empty_interior_bin_floored(self):
+        values = np.concatenate([np.zeros(10), np.ones(10) * 10])
+        hist = Histogram1D(n_bins=10).fit(values)
+        assert hist.density([5.0])[0] == pytest.approx(1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Histogram1D().density([1.0])
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError):
+            Histogram1D().fit(np.array([]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Histogram1D(n_bins=0)
+        with pytest.raises(ValueError):
+            Histogram1D(outlier_density=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.kmeans import KMeans
+
+
+def blob_data(rng, centers, n_per=30, spread=0.2):
+    parts = [c + rng.normal(0, spread, size=(n_per, len(c)))
+             for c in centers]
+    return np.vstack(parts)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = [(-5.0, -5.0), (5.0, 5.0), (5.0, -5.0)]
+        X = blob_data(rng, centers)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        found = km.cluster_centers_
+        for c in centers:
+            nearest = np.linalg.norm(found - np.array(c), axis=1).min()
+            assert nearest < 0.5
+
+    def test_labels_match_nearest_center(self, rng):
+        X = blob_data(rng, [(-3.0,), (3.0,)])
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        np.testing.assert_array_equal(km.labels_, km.predict(X))
+
+    def test_inertia_decreases_with_k(self, rng):
+        X = rng.normal(size=(100, 3))
+        inertias = [KMeans(k, random_state=0).fit(X).inertia_
+                    for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_single_cluster_center_is_mean(self, rng):
+        X = rng.normal(size=(40, 2))
+        km = KMeans(n_clusters=1, random_state=0).fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0),
+                                   atol=1e-9)
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(60, 2))
+        a = KMeans(3, random_state=7).fit(X)
+        b = KMeans(3, random_state=7).fit(X)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((20, 2))
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert np.all(np.isfinite(km.cluster_centers_))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_fewer_samples_than_clusters(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_init=0)

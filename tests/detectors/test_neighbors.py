@@ -1,0 +1,86 @@
+"""Tests for the brute-force nearest-neighbour machinery."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.detectors.neighbors import kneighbors, pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_matches_scipy(self, rng):
+        A = rng.normal(size=(20, 5))
+        B = rng.normal(size=(15, 5))
+        np.testing.assert_allclose(
+            pairwise_distances(A, B), cdist(A, B), atol=1e-9)
+
+    def test_self_distance_zero(self, rng):
+        A = rng.normal(size=(10, 3))
+        D = pairwise_distances(A, A)
+        np.testing.assert_allclose(np.diag(D), 0.0, atol=1e-6)
+
+    def test_symmetry(self, rng):
+        A = rng.normal(size=(12, 4))
+        D = pairwise_distances(A, A)
+        np.testing.assert_allclose(D, D.T, atol=1e-9)
+
+    def test_no_negative_from_rounding(self, rng):
+        # Nearly identical points can yield tiny negative squared distances
+        # before the clamp.
+        A = np.ones((5, 3)) + rng.normal(0, 1e-12, size=(5, 3))
+        D = pairwise_distances(A, A)
+        assert np.all(D >= 0)
+
+    def test_width_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_distances(rng.normal(size=(3, 2)),
+                               rng.normal(size=(3, 3)))
+
+
+class TestKneighbors:
+    def test_matches_bruteforce(self, rng):
+        X = rng.normal(size=(30, 4))
+        dist, idx = kneighbors(X, X, k=5, exclude_self=True)
+        full = cdist(X, X)
+        np.fill_diagonal(full, np.inf)
+        expected_idx = np.argsort(full, axis=1)[:, :5]
+        expected_dist = np.take_along_axis(full, expected_idx, axis=1)
+        np.testing.assert_allclose(dist, expected_dist, atol=1e-9)
+        # Indices can differ under exact ties; distances must match.
+
+    def test_sorted_ascending(self, rng):
+        X = rng.normal(size=(25, 3))
+        dist, _ = kneighbors(X, X, k=6, exclude_self=True)
+        assert np.all(np.diff(dist, axis=1) >= -1e-12)
+
+    def test_exclude_self(self, rng):
+        X = rng.normal(size=(10, 2))
+        _, idx = kneighbors(X, X, k=3, exclude_self=True)
+        for i in range(10):
+            assert i not in idx[i]
+
+    def test_include_self(self, rng):
+        X = rng.normal(size=(10, 2))
+        dist, idx = kneighbors(X, X, k=1)
+        np.testing.assert_array_equal(idx.ravel(), np.arange(10))
+        np.testing.assert_allclose(dist, 0.0, atol=1e-6)
+
+    def test_query_different_reference(self, rng):
+        ref = rng.normal(size=(20, 3))
+        query = rng.normal(size=(5, 3))
+        dist, idx = kneighbors(query, ref, k=2)
+        full = cdist(query, ref)
+        np.testing.assert_allclose(dist[:, 0], full.min(axis=1), atol=1e-9)
+
+    def test_chunking_consistent(self, rng):
+        X = rng.normal(size=(50, 3))
+        d1, i1 = kneighbors(X, X, k=4, exclude_self=True, chunk_size=7)
+        d2, i2 = kneighbors(X, X, k=4, exclude_self=True, chunk_size=1024)
+        np.testing.assert_allclose(d1, d2, atol=1e-12)
+
+    def test_k_out_of_range(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            kneighbors(X, X, k=5, exclude_self=True)
+        with pytest.raises(ValueError):
+            kneighbors(X, X, k=0)

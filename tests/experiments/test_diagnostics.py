@@ -1,0 +1,84 @@
+"""Tests for UADB run diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import UADBooster
+from repro.detectors import IForest
+from repro.experiments.diagnostics import (
+    case_rank_trajectories,
+    convergence_profile,
+    correction_summary,
+    label_movement,
+)
+from tests.conftest import FAST_BOOSTER
+
+
+@pytest.fixture(scope="module")
+def run(small_dataset):
+    X, y = small_dataset
+    source = IForest(random_state=0).fit(X)
+    booster = UADBooster(**FAST_BOOSTER, random_state=0).fit(X, source)
+    return booster.history_, y
+
+
+class TestLabelMovement:
+    def test_fields(self, run):
+        history, _ = run
+        out = label_movement(history)
+        assert out["movement"].shape[0] == len(history.pseudo_labels[0])
+        assert out["mean_abs"] >= 0
+        assert out["max_up"] >= out["max_down"]
+        assert out["n_promoted"] >= 0 and out["n_demoted"] >= 0
+
+    def test_movement_consistent_with_matrix(self, run):
+        history, _ = run
+        out = label_movement(history)
+        matrix = history.pseudo_label_matrix()
+        np.testing.assert_allclose(out["movement"],
+                                   matrix[:, -1] - matrix[:, 0])
+
+
+class TestCorrectionSummary:
+    def test_accounting(self, run):
+        history, y = run
+        out = correction_summary(history, y)
+        counts = out["case_counts"]
+        assert sum(counts.values()) == y.size
+        assert out["n_errors_initial"] == counts["FP"] + counts["FN"]
+        assert 0 <= out["n_corrected"] <= out["n_errors_initial"]
+        assert 0.0 <= out["correction_rate"] <= 1.0
+        assert out["net_improvement"] == (out["n_corrected"]
+                                          - out["n_corrupted"])
+
+    def test_perfect_initial_labels(self, run):
+        history, _ = run
+        # With ground truth equal to thresholded initial labels there are
+        # no errors, so the correction rate is defined as zero.
+        initial = history.pseudo_labels[0]
+        fake_y = (initial > 0.5).astype(int)
+        if fake_y.sum() in (0, fake_y.size):
+            pytest.skip("degenerate initial labels")
+        out = correction_summary(history, fake_y)
+        assert out["n_errors_initial"] == 0
+        assert out["correction_rate"] == 0.0
+
+
+class TestCaseRankTrajectories:
+    def test_shapes(self, run):
+        history, y = run
+        out = case_rank_trajectories(history, y)
+        assert set(out) == {"TP", "TN", "FP", "FN"}
+        for series in out.values():
+            assert len(series) == history.n_iterations
+
+
+class TestConvergenceProfile:
+    def test_fields(self, run):
+        history, _ = run
+        out = convergence_profile(history)
+        assert len(out["label_deltas"]) == history.n_iterations
+        assert len(out["score_deltas"]) == history.n_iterations - 1
+        assert len(out["variance_means"]) == history.n_iterations
+        assert all(d >= 0 for d in out["label_deltas"])
+        assert isinstance(out["settled"], bool)

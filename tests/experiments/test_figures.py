@@ -1,0 +1,106 @@
+"""Tests for figure reproduction (small, fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_anomaly_dataset
+from repro.experiments.figures import (
+    FIG5_MODEL_PAIRS,
+    fig1_instance_variance,
+    fig2_variance_gap,
+    fig4_case_trajectories,
+    fig5_synthetic_types,
+    fig6_no_gap_improvement,
+    fig7_iteration_curves,
+    fig9_ranking_development,
+    imitation_variance,
+)
+from repro.experiments.harness import run_grid
+
+FAST = {"n_iterations": 2,
+        "booster_kwargs": {"hidden": 16, "epochs_per_iteration": 2}}
+
+
+class TestImitationVariance:
+    def test_output_fields(self):
+        ds = make_anomaly_dataset("local", n_inliers=130, n_anomalies=14,
+                                  n_features=4, random_state=0)
+        out = imitation_variance(ds, seed=0, epochs=2)
+        assert out["variance"].shape == (144,)
+        assert np.all(out["variance"] >= 0)
+        assert set(np.unique(out["y"])) == {0, 1}
+
+
+class TestFig1:
+    def test_structure(self):
+        out = fig1_instance_variance(dataset_names=("glass",),
+                                     max_samples=150, max_features=6)
+        cell = out["glass"]
+        assert cell["variance_normal"].size > 0
+        assert cell["variance_abnormal"].size > 0
+        assert cell["mean_normal"] >= 0
+
+
+class TestFig2:
+    def test_gap_summary(self):
+        out = fig2_variance_gap(dataset_names=("glass", "wine"),
+                                max_samples=150, max_features=6)
+        assert out["n_total"] == 2
+        assert 0 <= out["n_negative"] <= 2
+        assert set(out["gaps"]) == {"glass", "wine"}
+
+
+class TestFig4:
+    def test_trajectories(self):
+        ds = make_anomaly_dataset("local", n_inliers=180, n_anomalies=20,
+                                  random_state=1)
+        out = fig4_case_trajectories(ds, detector="IForest", n_iterations=2,
+                                     seed=0)
+        assert out["cases"], "at least one case should be present"
+        for case, info in out["cases"].items():
+            assert case in ("TP", "TN", "FP", "FN")
+            assert len(info["uadb"]) == 2
+            assert len(info["static"]) == 2
+            assert 0.0 <= info["initial"] <= 1.0
+
+
+class TestFig5:
+    def test_records(self):
+        records = fig5_synthetic_types(n_iterations=2, seed=0,
+                                       n_inliers=130, n_anomalies=14)
+        assert len(records) == sum(len(v) for v in FIG5_MODEL_PAIRS.values())
+        for r in records:
+            assert r["anomaly_type"] in FIG5_MODEL_PAIRS
+            assert r["teacher_errors"] >= 0
+            assert 0.0 <= r["correction_rate"] <= 1.0
+
+
+class TestFig6AndFig7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_grid(detectors=("HBOS",), datasets=("glass", "wine"),
+                        seeds=(0,), max_samples=150, max_features=6, **FAST)
+
+    def test_fig6(self, results):
+        gap_info = {"gaps": {"glass": 0.1, "wine": -0.2}}
+        out = fig6_no_gap_improvement(results, gap_info)
+        assert out["selected_datasets"] == ["glass"]
+        assert "HBOS" in out["per_detector"]
+        assert out["per_detector"]["HBOS"]["n_datasets"] == 1
+
+    def test_fig7(self, results):
+        curves = fig7_iteration_curves(results)
+        assert "HBOS" in curves
+        assert len(curves["HBOS"]["per_iteration_auc"]) == 2
+
+
+class TestFig9:
+    def test_structure(self):
+        out = fig9_ranking_development(dataset_names=("glass",),
+                                       detector="HBOS", n_iterations=2,
+                                       max_samples=150, max_features=6)
+        cell = out["glass"]
+        assert len(cell["auc"]) == 2
+        assert set(cell["mean_ranks"]) == {"TP", "TN", "FP", "FN"}
+        for ranks in cell["mean_ranks"].values():
+            assert len(ranks) == 2

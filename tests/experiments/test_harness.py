@@ -1,0 +1,86 @@
+"""Tests for the experiment harness (small, fast configurations)."""
+
+import pytest
+
+from repro.data.synthetic import make_anomaly_dataset
+from repro.experiments.harness import (
+    DEFAULT_BENCH_DATASETS,
+    run_grid,
+    run_single,
+    run_variant,
+)
+
+FAST = {"n_iterations": 2,
+        "booster_kwargs": {"hidden": 16, "epochs_per_iteration": 2}}
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return make_anomaly_dataset("global", n_inliers=130, n_anomalies=14,
+                                n_features=4, random_state=2)
+
+
+class TestRunSingle:
+    def test_result_fields(self, tiny_dataset):
+        result = run_single(tiny_dataset, "IForest", seed=0, **FAST)
+        assert result.detector == "IForest"
+        assert result.dataset == tiny_dataset.name
+        assert 0.0 <= result.source_auc <= 1.0
+        assert 0.0 <= result.booster_ap <= 1.0
+        assert len(result.iteration_auc) == 2
+
+    def test_improvement_properties(self, tiny_dataset):
+        result = run_single(tiny_dataset, "HBOS", seed=0, **FAST)
+        assert result.auc_improvement == pytest.approx(
+            result.booster_auc - result.source_auc)
+        assert result.ap_improvement == pytest.approx(
+            result.booster_ap - result.source_ap)
+
+    def test_seed_changes_result(self, tiny_dataset):
+        a = run_single(tiny_dataset, "IForest", seed=0, **FAST)
+        b = run_single(tiny_dataset, "IForest", seed=1, **FAST)
+        assert a.booster_auc != b.booster_auc
+
+    def test_history_disabled_skips_iterations(self, tiny_dataset):
+        result = run_single(
+            tiny_dataset, "IForest", seed=0, n_iterations=2,
+            booster_kwargs={"hidden": 16, "epochs_per_iteration": 2,
+                            "record_history": False})
+        assert result.iteration_auc == []
+
+
+class TestRunVariant:
+    @pytest.mark.parametrize("variant", ["naive", "self"])
+    def test_variant_metrics(self, tiny_dataset, variant):
+        out = run_variant(tiny_dataset, "HBOS", variant, n_iterations=2,
+                          seed=0,
+                          variant_kwargs={"hidden": 16,
+                                          "epochs_per_iteration": 2})
+        assert out["variant"] == variant
+        assert 0.0 <= out["auc"] <= 1.0
+        assert 0.0 <= out["source_ap"] <= 1.0
+
+
+class TestRunGrid:
+    def test_grid_size(self, tiny_dataset):
+        results = run_grid(detectors=("IForest", "HBOS"),
+                           datasets=(tiny_dataset,), seeds=(0, 1), **FAST)
+        assert len(results) == 4
+
+    def test_named_datasets_loaded(self):
+        results = run_grid(detectors=("HBOS",), datasets=("glass",),
+                           seeds=(0,), max_samples=150, max_features=6,
+                           **FAST)
+        assert results[0].dataset == "glass"
+
+    def test_progress_callback(self, tiny_dataset):
+        messages = []
+        run_grid(detectors=("HBOS",), datasets=(tiny_dataset,), seeds=(0,),
+                 progress=messages.append, **FAST)
+        assert len(messages) == 1
+        assert "HBOS" in messages[0]
+
+    def test_default_bench_datasets_are_registered(self):
+        from repro.data.registry import DATASET_NAMES
+        for name in DEFAULT_BENCH_DATASETS:
+            assert name in DATASET_NAMES

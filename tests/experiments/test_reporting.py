@@ -1,0 +1,75 @@
+"""Tests for plain-text table/figure rendering."""
+
+from repro.experiments.reporting import (
+    format_boxplots,
+    format_fig2,
+    format_fig5,
+    format_fig7,
+    format_table,
+    format_table4,
+    format_table6,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["A", "Bee"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Bee" in lines[1]
+        # All data rows share the header's width structure.
+        assert len(lines[3]) == len(lines[1])
+
+    def test_empty_rows(self):
+        text = format_table(["X"], [])
+        assert "X" in text
+
+
+class TestFormatters:
+    def test_table4(self):
+        summary = {"IForest": {m: {"original": 0.7, "booster": 0.72,
+                                   "improvement": 0.02,
+                                   "improvement_pct": 2.9, "effects": 3,
+                                   "n_datasets": 4, "p_value": 0.01}
+                               for m in ("auc", "ap")}}
+        text = format_table4(summary)
+        assert "[Table IV]" in text
+        assert "IForest" in text
+        assert "3/4" in text
+
+    def test_table6(self):
+        table = {s: {"HBOS": {"auc": 0.7, "ap": 0.4}}
+                 for s in ("origin", "uadb")}
+        text = format_table6(table)
+        assert "origin" in text and "uadb" in text
+        assert "Average" in text
+
+    def test_fig2(self):
+        info = {"gaps": {"a": -0.5, "b": 0.2}, "n_negative": 1,
+                "n_total": 2, "fraction_negative": 0.5}
+        text = format_fig2(info)
+        assert "anomalies have higher variance on 1/2" in text
+
+    def test_fig5(self):
+        records = [{"anomaly_type": "clustered", "model": "IForest",
+                    "teacher_errors": 44, "booster_errors": 6,
+                    "correction_rate": 0.86, "teacher_auc": 0.8,
+                    "booster_auc": 0.95}]
+        text = format_fig5(records)
+        assert "clustered" in text
+        assert "86%" in text
+
+    def test_fig7(self):
+        curves = {"LOF": {"source_auc": 0.6,
+                          "per_iteration_auc": [0.61, 0.63]}}
+        text = format_fig7(curves)
+        assert "it1" in text and "it2" in text
+
+    def test_boxplots(self):
+        stats = {"KNN": {m: {w: {"min": 0.1, "q1": 0.2, "median": 0.3,
+                                 "q3": 0.4, "max": 0.5, "mean": 0.3}
+                             for w in ("source", "booster")}
+                         for m in ("auc", "ap")}}
+        text = format_boxplots(stats)
+        assert "KNN" in text and "booster" in text

@@ -1,0 +1,97 @@
+"""Tests for table reproduction (aggregation, Table IV/V/VI shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_anomaly_dataset
+from repro.experiments.harness import run_grid
+from repro.experiments.tables import (
+    aggregate_results,
+    boxplot_stats,
+    table4_summary,
+    table5_per_iteration,
+    table6_variants,
+)
+
+FAST = {"n_iterations": 2,
+        "booster_kwargs": {"hidden": 16, "epochs_per_iteration": 2}}
+
+
+@pytest.fixture(scope="module")
+def grid_results():
+    datasets = [
+        make_anomaly_dataset("global", n_inliers=120, n_anomalies=14,
+                             n_features=4, random_state=s)
+        for s in (1, 2)
+    ]
+    datasets[0].name = "synth-a"
+    datasets[1].name = "synth-b"
+    return run_grid(detectors=("IForest", "HBOS"), datasets=datasets,
+                    seeds=(0, 1), **FAST)
+
+
+class TestAggregate:
+    def test_nesting(self, grid_results):
+        nested = aggregate_results(grid_results)
+        assert set(nested) == {"IForest", "HBOS"}
+        assert set(nested["IForest"]) == {"synth-a", "synth-b"}
+
+    def test_seed_average(self, grid_results):
+        nested = aggregate_results(grid_results)
+        cell = nested["IForest"]["synth-a"]
+        manual = np.mean([r.booster_auc for r in grid_results
+                          if r.detector == "IForest"
+                          and r.dataset == "synth-a"])
+        assert cell["booster_auc"] == pytest.approx(manual)
+
+
+class TestTable4:
+    def test_structure(self, grid_results):
+        summary = table4_summary(grid_results)
+        for detector, row in summary.items():
+            for metric in ("auc", "ap"):
+                m = row[metric]
+                assert set(m) == {"original", "booster", "improvement",
+                                  "improvement_pct", "effects", "n_datasets",
+                                  "p_value"}
+                assert 0 <= m["effects"] <= m["n_datasets"] == 2
+                assert 0.0 <= m["p_value"] <= 1.0
+
+    def test_improvement_consistency(self, grid_results):
+        summary = table4_summary(grid_results)
+        m = summary["IForest"]["auc"]
+        assert m["improvement"] == pytest.approx(
+            m["booster"] - m["original"])
+
+
+class TestTable5:
+    def test_structure(self):
+        table = table5_per_iteration(
+            detectors=("HBOS",), datasets=("glass",), n_iterations=4,
+            seeds=(0,), max_samples=150, max_features=6)
+        cell = table["HBOS"]["glass"]
+        for metric in ("auc", "ap"):
+            assert "teacher" in cell[metric]
+            assert "iter_2" in cell[metric]["iterations"]
+            assert "iter_4" in cell[metric]["iterations"]
+            assert cell[metric]["improvement"] == pytest.approx(
+                cell[metric]["final"] - cell[metric]["teacher"])
+
+
+class TestTable6:
+    def test_structure(self):
+        table = table6_variants(
+            detectors=("HBOS",), datasets=("glass",), seeds=(0,),
+            n_iterations=2, max_samples=150, max_features=6)
+        assert set(table) == {"origin", "naive", "discrepancy", "self",
+                              "discrepancy_star", "uadb"}
+        for strategy in table.values():
+            assert 0.0 <= strategy["HBOS"]["auc"] <= 1.0
+            assert 0.0 <= strategy["HBOS"]["ap"] <= 1.0
+
+
+class TestBoxplots:
+    def test_five_number_summaries(self, grid_results):
+        stats = boxplot_stats(grid_results)
+        s = stats["IForest"]["auc"]["source"]
+        assert s["min"] <= s["q1"] <= s["median"] <= s["q3"] <= s["max"]

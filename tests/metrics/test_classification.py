@@ -1,0 +1,114 @@
+"""Tests for confusion counts, error rates, cases, and rank helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import (
+    confusion_counts,
+    error_correction_rate,
+    error_count,
+    instance_cases,
+    rank_of,
+    threshold_by_contamination,
+)
+
+
+class TestConfusionCounts:
+    def test_basic(self):
+        y = [1, 1, 0, 0]
+        s = [0.9, 0.1, 0.8, 0.2]
+        counts = confusion_counts(y, s, threshold=0.5)
+        assert counts == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+
+    def test_all_correct(self):
+        y = [1, 0]
+        s = [0.9, 0.1]
+        counts = confusion_counts(y, s)
+        assert counts["tp"] == 1 and counts["tn"] == 1
+        assert counts["fp"] == 0 and counts["fn"] == 0
+
+    def test_counts_sum_to_n(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=50)
+        s = rng.uniform(size=50)
+        counts = confusion_counts(y, s, threshold=0.4)
+        assert sum(counts.values()) == 50
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            confusion_counts([0, 2], [0.1, 0.2])
+
+
+class TestErrorCount:
+    def test_equals_fp_plus_fn(self):
+        y = [1, 1, 0, 0, 0]
+        s = [0.9, 0.2, 0.8, 0.7, 0.1]
+        assert error_count(y, s, 0.5) == 3
+
+
+class TestErrorCorrectionRate:
+    def test_full_correction(self):
+        y = [1, 0]
+        teacher = [0.1, 0.9]       # both wrong
+        booster = [0.9, 0.1]       # both fixed
+        assert error_correction_rate(y, teacher, booster) == 1.0
+
+    def test_no_errors_returns_zero(self):
+        y = [1, 0]
+        teacher = [0.9, 0.1]
+        booster = [0.1, 0.9]
+        assert error_correction_rate(y, teacher, booster) == 0.0
+
+    def test_partial(self):
+        y = [1, 1, 0]
+        teacher = [0.1, 0.2, 0.9]  # 3 errors
+        booster = [0.9, 0.2, 0.8]  # fixes only the first
+        assert error_correction_rate(y, teacher, booster) == pytest.approx(1 / 3)
+
+
+class TestInstanceCases:
+    def test_labels(self):
+        y = [1, 1, 0, 0]
+        s = [0.9, 0.1, 0.8, 0.2]
+        cases = instance_cases(y, s, 0.5)
+        assert list(cases) == ["TP", "FN", "FP", "TN"]
+
+    def test_every_instance_labelled(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=40)
+        s = rng.uniform(size=40)
+        cases = instance_cases(y, s)
+        assert set(cases) <= {"TP", "FN", "FP", "TN"}
+        assert len(cases) == 40
+
+
+class TestRankOf:
+    def test_simple_order(self):
+        ranks = rank_of([0.1, 0.5, 0.3])
+        assert list(ranks) == [1.0, 3.0, 2.0]
+
+    def test_tied_midranks(self):
+        ranks = rank_of([0.2, 0.2, 0.5])
+        assert list(ranks) == [1.5, 1.5, 3.0]
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_sum_invariant(self, seed):
+        """Ranks always sum to n(n+1)/2 regardless of ties."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        values = rng.integers(0, 5, size=n).astype(float)
+        assert rank_of(values).sum() == pytest.approx(n * (n + 1) / 2)
+
+
+class TestThresholdByContamination:
+    def test_flags_expected_fraction(self):
+        s = np.linspace(0, 1, 100)
+        thr = threshold_by_contamination(s, 0.1)
+        assert np.sum(s > thr) == pytest.approx(10, abs=1)
+
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            threshold_by_contamination([0.1, 0.2], 1.5)

@@ -1,0 +1,153 @@
+"""Tests for AUCROC / AP / precision@n, including ranking-metric properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ranking import auc_roc, average_precision, precision_at_n
+
+
+def labelled_scores(min_size=4, max_size=60):
+    """Strategy: (y, scores) with both classes present."""
+    return st.integers(min_value=0, max_value=10_000).map(_make_case(
+        min_size, max_size))
+
+
+def _make_case(min_size, max_size):
+    def build(seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(min_size, max_size + 1))
+        y = np.zeros(n, dtype=int)
+        n_pos = int(rng.integers(1, n))
+        y[:n_pos] = 1
+        rng.shuffle(y)
+        scores = rng.normal(size=n)
+        return y, scores
+    return build
+
+
+class TestAucRoc:
+    def test_perfect_ranking(self):
+        y = [0, 0, 0, 1, 1]
+        s = [0.1, 0.2, 0.3, 0.8, 0.9]
+        assert auc_roc(y, s) == 1.0
+
+    def test_inverted_ranking(self):
+        y = [1, 1, 0, 0]
+        s = [0.1, 0.2, 0.8, 0.9]
+        assert auc_roc(y, s) == 0.0
+
+    def test_all_tied_scores(self):
+        y = [0, 1, 0, 1]
+        s = [0.5, 0.5, 0.5, 0.5]
+        assert auc_roc(y, s) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # 2 pos, 2 neg; one inversion out of 4 pairs -> 0.75.
+        y = [0, 1, 0, 1]
+        s = [0.1, 0.2, 0.3, 0.4]
+        assert auc_roc(y, s) == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="both classes"):
+            auc_roc([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError, match="only 0"):
+            auc_roc([0, 1, 2], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc_roc([0, 1], [0.1, 0.2, 0.3])
+
+    @given(labelled_scores())
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, case):
+        y, s = case
+        assert 0.0 <= auc_roc(y, s) <= 1.0
+
+    @given(labelled_scores())
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_invariance(self, case):
+        """AUCROC is invariant under strictly increasing transforms."""
+        y, s = case
+        transformed = np.exp(0.5 * s) + 3.0
+        assert auc_roc(y, s) == pytest.approx(auc_roc(y, transformed))
+
+    @given(labelled_scores())
+    @settings(max_examples=50, deadline=None)
+    def test_negation_flips(self, case):
+        """Negating the scores maps AUC to 1 - AUC."""
+        y, s = case
+        assert auc_roc(y, s) + auc_roc(y, -s) == pytest.approx(1.0)
+
+    @given(labelled_scores())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_pairwise_definition(self, case):
+        """AUC equals the tie-aware pairwise win rate, computed brute-force."""
+        y, s = case
+        y = np.asarray(y)
+        s = np.asarray(s)
+        pos = s[y == 1]
+        neg = s[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        brute = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert auc_roc(y, s) == pytest.approx(brute)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        y = [0, 0, 1, 1]
+        s = [0.1, 0.2, 0.8, 0.9]
+        assert average_precision(y, s) == 1.0
+
+    def test_known_value(self):
+        # Ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2.
+        y = [1, 0, 1]
+        s = [0.9, 0.5, 0.1]
+        assert average_precision(y, s) == pytest.approx((1.0 + 2.0 / 3.0) / 2)
+
+    def test_worst_ranking(self):
+        y = [1, 0, 0, 0]
+        s = [0.1, 0.5, 0.6, 0.7]
+        assert average_precision(y, s) == pytest.approx(0.25)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            average_precision([0, 0], [0.1, 0.2])
+
+    @given(labelled_scores())
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, case):
+        y, s = case
+        ap = average_precision(y, s)
+        base_rate = np.asarray(y).mean()
+        assert 0.0 < ap <= 1.0
+        # AP of a perfect ranking is 1; a ranking cannot do better.
+        assert ap <= 1.0 + 1e-12
+        assert ap >= base_rate / len(y)
+
+    @given(labelled_scores())
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_invariance(self, case):
+        y, s = case
+        assert average_precision(y, s) == pytest.approx(
+            average_precision(y, 2.0 * np.asarray(s) + 5.0))
+
+
+class TestPrecisionAtN:
+    def test_default_n_is_positive_count(self):
+        y = [1, 1, 0, 0, 0]
+        s = [0.9, 0.8, 0.1, 0.2, 0.3]
+        assert precision_at_n(y, s) == 1.0
+
+    def test_explicit_n(self):
+        y = [1, 0, 0, 0]
+        s = [0.9, 0.8, 0.1, 0.2]
+        assert precision_at_n(y, s, n=2) == 0.5
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            precision_at_n([0, 1], [0.1, 0.2], n=3)

@@ -1,0 +1,80 @@
+"""Tests for the Wilcoxon signed-rank test, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.metrics.stats import wilcoxon_signed_rank
+
+
+class TestWilcoxonAgainstScipy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scipy_greater(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0.05, 1.0, size=40)
+        y = rng.normal(0.0, 1.0, size=40)
+        ours = wilcoxon_signed_rank(x, y, alternative="greater")
+        ref = scipy.stats.wilcoxon(x, y, alternative="greater",
+                                   correction=False, mode="approx")
+        assert ours["p_value"] == pytest.approx(ref.pvalue, rel=1e-6)
+
+    @pytest.mark.parametrize("alternative", ["greater", "less", "two-sided"])
+    def test_matches_scipy_alternatives(self, alternative):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0.1, 1.0, size=30)
+        y = rng.normal(0.0, 1.0, size=30)
+        ours = wilcoxon_signed_rank(x, y, alternative=alternative)
+        ref = scipy.stats.wilcoxon(x, y, alternative=alternative,
+                                   correction=False, mode="approx")
+        assert ours["p_value"] == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_matches_scipy_with_ties(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        y = np.array([0.5, 1.5, 2.5, 4.5, 4.0, 5.5, 6.5, 9.0])
+        ours = wilcoxon_signed_rank(x, y, alternative="greater")
+        ref = scipy.stats.wilcoxon(x, y, alternative="greater",
+                                   correction=False, mode="approx")
+        assert ours["p_value"] == pytest.approx(ref.pvalue, rel=1e-6)
+
+
+class TestWilcoxonBehaviour:
+    def test_consistent_improvement_small_p(self):
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0.5, 0.9, size=50)
+        x = y + rng.uniform(0.01, 0.05, size=50)  # x always better
+        result = wilcoxon_signed_rank(x, y, alternative="greater")
+        assert result["p_value"] < 1e-6
+
+    def test_no_difference_large_p(self):
+        rng = np.random.default_rng(1)
+        y = rng.uniform(size=50)
+        x = y + rng.normal(0, 0.01, size=50)
+        result = wilcoxon_signed_rank(x, y, alternative="greater")
+        assert result["p_value"] > 0.01
+
+    def test_all_zero_differences(self):
+        x = np.ones(10)
+        result = wilcoxon_signed_rank(x, x)
+        assert result["p_value"] == 1.0
+        assert result["n_effective"] == 0
+
+    def test_zeros_dropped(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 1.0, 2.0, 3.0])
+        result = wilcoxon_signed_rank(x, y)
+        assert result["n_effective"] == 3
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1, 2, 3])
+
+    def test_unknown_alternative_raises(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [2, 1], alternative="sideways")
+
+    def test_statistic_is_positive_rank_sum(self):
+        x = np.array([2.0, 0.0])
+        y = np.array([1.0, 1.0])
+        # diffs: +1, -1 -> ranks 1.5 each, W+ = 1.5
+        result = wilcoxon_signed_rank(x, y)
+        assert result["statistic"] == pytest.approx(1.5)

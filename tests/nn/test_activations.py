@@ -1,0 +1,85 @@
+"""Tests for activation layers: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+
+ALL_ACTIVATIONS = [Identity, ReLU, LeakyReLU, Sigmoid, Tanh]
+
+
+def numeric_grad(layer, x, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(forward(x) * grad_out) w.r.t. x."""
+    num = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        up = np.sum(layer.forward(x) * grad_out)
+        x[i] = old - eps
+        down = np.sum(layer.forward(x) * grad_out)
+        x[i] = old
+        num[i] = (up - down) / (2 * eps)
+    return num
+
+
+class TestForwardValues:
+    def test_identity(self):
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_array_equal(Identity().forward(x), x)
+
+    def test_relu(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(
+            ReLU().forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu(self):
+        x = np.array([[-2.0, 3.0]])
+        out = LeakyReLU(alpha=0.1).forward(x)
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+    def test_sigmoid_midpoint(self):
+        assert Sigmoid().forward(np.zeros((1, 1)))[0, 0] == 0.5
+
+    def test_sigmoid_extreme_stability(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_tanh(self):
+        out = Tanh().forward(np.array([[0.0, 100.0]]))
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == pytest.approx(1.0)
+
+    def test_leaky_relu_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.1)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("cls", ALL_ACTIVATIONS)
+    def test_matches_numeric(self, cls, rng):
+        layer = cls()
+        # Avoid the ReLU kink at exactly zero.
+        x = rng.normal(size=(5, 3))
+        x[np.abs(x) < 1e-3] = 0.1
+        grad_out = rng.normal(size=(5, 3))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        numeric = numeric_grad(cls(), x.copy(), grad_out)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    @pytest.mark.parametrize("cls", ALL_ACTIVATIONS[1:])
+    def test_backward_before_forward_raises(self, cls):
+        layer = cls()
+        if isinstance(layer, Identity):
+            return
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 2)))
+
+    def test_no_parameters(self):
+        for cls in ALL_ACTIVATIONS:
+            assert cls().params == []
+            assert cls().grads == []

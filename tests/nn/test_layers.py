@@ -1,0 +1,100 @@
+"""Tests for the Dense layer: shapes, init, and exact gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+
+
+class TestDenseForward:
+    def test_output_shape(self, rng):
+        layer = Dense(4, 3, random_state=0)
+        out = layer.forward(rng.normal(size=(7, 4)))
+        assert out.shape == (7, 3)
+
+    def test_linear_in_input(self, rng):
+        layer = Dense(3, 2, random_state=0)
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        lhs = layer.forward(a + b)
+        rhs = layer.forward(a) + layer.forward(b) - layer.b
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_no_bias(self, rng):
+        layer = Dense(3, 2, bias=False, random_state=0)
+        assert layer.b is None
+        out = layer.forward(np.zeros((2, 3)))
+        np.testing.assert_array_equal(out, np.zeros((2, 2)))
+
+    def test_wrong_width_raises(self, rng):
+        layer = Dense(3, 2, random_state=0)
+        with pytest.raises(ValueError, match="expected input"):
+            layer.forward(rng.normal(size=(2, 4)))
+
+    def test_init_bound(self):
+        layer = Dense(100, 50, random_state=0)
+        bound = 1.0 / np.sqrt(100)
+        assert np.abs(layer.W).max() <= bound
+        assert np.abs(layer.b).max() <= bound
+
+    def test_deterministic_init(self):
+        a = Dense(5, 5, random_state=3)
+        b = Dense(5, 5, random_state=3)
+        np.testing.assert_array_equal(a.W, b.W)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+
+
+class TestDenseBackward:
+    def test_gradient_check(self, rng):
+        layer = Dense(4, 3, random_state=1)
+        x = rng.normal(size=(6, 4))
+        grad_out = rng.normal(size=(6, 3))
+        layer.forward(x)
+        grad_in = layer.backward(grad_out)
+
+        eps = 1e-6
+        # Weight gradient.
+        for i in range(4):
+            for j in range(3):
+                old = layer.W[i, j]
+                layer.W[i, j] = old + eps
+                up = np.sum(layer.forward(x) * grad_out)
+                layer.W[i, j] = old - eps
+                down = np.sum(layer.forward(x) * grad_out)
+                layer.W[i, j] = old
+                assert layer.dW[i, j] == pytest.approx(
+                    (up - down) / (2 * eps), abs=1e-5)
+        # Input gradient.
+        num = np.zeros_like(x)
+        for i in range(6):
+            for j in range(4):
+                old = x[i, j]
+                x[i, j] = old + eps
+                up = np.sum(layer.forward(x) * grad_out)
+                x[i, j] = old - eps
+                down = np.sum(layer.forward(x) * grad_out)
+                x[i, j] = old
+                num[i, j] = (up - down) / (2 * eps)
+        layer.forward(x)
+        np.testing.assert_allclose(grad_in, num, atol=1e-5)
+
+    def test_bias_gradient_is_column_sum(self, rng):
+        layer = Dense(3, 2, random_state=0)
+        x = rng.normal(size=(5, 3))
+        grad_out = rng.normal(size=(5, 2))
+        layer.forward(x)
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.db, grad_out.sum(axis=0))
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, random_state=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_params_and_grads_aligned(self):
+        layer = Dense(3, 2, random_state=0)
+        assert len(layer.params) == len(layer.grads) == 2
+        assert layer.params[0].shape == layer.grads[0].shape

@@ -1,0 +1,88 @@
+"""Tests for MSE and BCE losses: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import BCELoss, MSELoss
+
+
+class TestMSE:
+    def test_zero_for_exact(self):
+        loss = MSELoss()
+        pred = np.array([[0.5], [0.7]])
+        assert loss.forward(pred, pred.copy()) == 0.0
+
+    def test_known_value(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([[1.0], [0.0]]),
+                             np.array([[0.0], [0.0]]))
+        assert value == pytest.approx(0.5)
+
+    def test_gradient_check(self, rng):
+        loss = MSELoss()
+        pred = rng.uniform(size=(5, 1))
+        target = rng.uniform(size=(5, 1))
+        loss.forward(pred, target)
+        grad = loss.backward()
+        eps = 1e-7
+        for i in range(5):
+            bumped = pred.copy()
+            bumped[i, 0] += eps
+            up = loss.forward(bumped, target)
+            bumped[i, 0] -= 2 * eps
+            down = loss.forward(bumped, target)
+            assert grad[i, 0] == pytest.approx((up - down) / (2 * eps),
+                                               rel=1e-4)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros((2, 1)), np.zeros((3, 1)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()
+
+
+class TestBCE:
+    def test_confident_correct_small_loss(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.999], [0.001]]),
+                             np.array([[1.0], [0.0]]))
+        assert value < 0.01
+
+    def test_confident_wrong_large_loss(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.001]]), np.array([[1.0]]))
+        assert value > 5.0
+
+    def test_extreme_predictions_finite(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.0], [1.0]]),
+                             np.array([[1.0], [0.0]]))
+        assert np.isfinite(value)
+
+    def test_gradient_check(self, rng):
+        loss = BCELoss()
+        pred = rng.uniform(0.05, 0.95, size=(6, 1))
+        target = rng.uniform(size=(6, 1))
+        loss.forward(pred, target)
+        grad = loss.backward()
+        eps = 1e-7
+        for i in range(6):
+            bumped = pred.copy()
+            bumped[i, 0] += eps
+            up = loss.forward(bumped, target)
+            bumped[i, 0] -= 2 * eps
+            down = loss.forward(bumped, target)
+            assert grad[i, 0] == pytest.approx((up - down) / (2 * eps),
+                                               rel=1e-3)
+
+    def test_soft_targets_supported(self):
+        loss = BCELoss()
+        value = loss.forward(np.array([[0.3]]), np.array([[0.3]]))
+        # Cross-entropy of a distribution with itself = its entropy > 0.
+        assert value > 0.0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            BCELoss(eps=0.7)

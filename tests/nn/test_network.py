@@ -1,0 +1,106 @@
+"""Tests for Sequential and build_mlp: structure, gradients, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.losses import MSELoss
+from repro.nn.network import Sequential, build_mlp
+
+
+class TestBuildMlp:
+    def test_default_architecture(self):
+        net = build_mlp(10, hidden=128, n_layers=3, random_state=0)
+        dense = [l for l in net.layers if isinstance(l, Dense)]
+        assert len(dense) == 3
+        assert dense[0].in_features == 10
+        assert dense[0].out_features == 128
+        assert dense[1].out_features == 128
+        assert dense[2].out_features == 1
+
+    def test_sigmoid_output_range(self, rng):
+        net = build_mlp(4, hidden=8, random_state=0)
+        out = net.forward(rng.normal(size=(20, 4)) * 10)
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+    def test_linear_output_unbounded(self, rng):
+        net = build_mlp(4, hidden=8, output="linear", out_features=3,
+                        random_state=0)
+        out = net.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_single_layer(self):
+        net = build_mlp(4, n_layers=1, random_state=0)
+        dense = [l for l in net.layers if isinstance(l, Dense)]
+        assert len(dense) == 1
+
+    def test_deterministic(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = build_mlp(4, hidden=8, random_state=5).forward(x)
+        b = build_mlp(4, hidden=8, random_state=5).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_mlp(4, n_layers=0)
+        with pytest.raises(ValueError):
+            build_mlp(4, output="softmax")
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_full_gradient_check(self, rng):
+        net = build_mlp(3, hidden=6, random_state=0)
+        X = rng.normal(size=(8, 3))
+        y = rng.uniform(size=(8, 1))
+        loss = MSELoss()
+        loss.forward(net.forward(X), y)
+        net.backward(loss.backward())
+        analytic = [g.copy() for g in net.grads]
+
+        eps = 1e-6
+        for pi, p in enumerate(net.params):
+            flat = p.reshape(-1)
+            num = np.zeros_like(flat)
+            for i in range(flat.size):
+                old = flat[i]
+                flat[i] = old + eps
+                up = loss.forward(net.forward(X), y)
+                flat[i] = old - eps
+                down = loss.forward(net.forward(X), y)
+                flat[i] = old
+                num[i] = (up - down) / (2 * eps)
+            np.testing.assert_allclose(
+                analytic[pi].reshape(-1), num, atol=1e-5)
+
+    def test_get_set_weights_roundtrip(self, rng):
+        net = build_mlp(4, hidden=8, random_state=0)
+        x = rng.normal(size=(3, 4))
+        before = net.forward(x)
+        weights = net.get_weights()
+        # Mutate, then restore.
+        for p in net.params:
+            p += 1.0
+        assert not np.allclose(net.forward(x), before)
+        net.set_weights(weights)
+        np.testing.assert_allclose(net.forward(x), before)
+
+    def test_set_weights_shape_mismatch(self):
+        net = build_mlp(4, hidden=8, random_state=0)
+        weights = net.get_weights()
+        weights[0] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.set_weights(weights)
+
+    def test_set_weights_count_mismatch(self):
+        net = build_mlp(4, hidden=8, random_state=0)
+        with pytest.raises(ValueError):
+            net.set_weights(net.get_weights()[:-1])
+
+    def test_callable(self, rng):
+        net = build_mlp(2, hidden=4, random_state=0)
+        x = rng.normal(size=(2, 2))
+        np.testing.assert_array_equal(net(x), net.forward(x))

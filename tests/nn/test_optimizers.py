@@ -1,0 +1,108 @@
+"""Tests for SGD and Adam on analytically tractable problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam
+
+
+def quadratic_problem(start):
+    """Minimise 0.5 * ||p||^2; gradient is p itself."""
+    p = np.array(start, dtype=np.float64)
+    g = np.zeros_like(p)
+    return p, g
+
+
+class TestSGD:
+    def test_single_step(self):
+        p, g = quadratic_problem([1.0])
+        opt = SGD([p], [g], lr=0.1)
+        g[...] = p
+        opt.step()
+        assert p[0] == pytest.approx(0.9)
+
+    def test_converges_on_quadratic(self):
+        p, g = quadratic_problem([5.0, -3.0])
+        opt = SGD([p], [g], lr=0.1)
+        for _ in range(200):
+            g[...] = p
+            opt.step()
+        assert np.abs(p).max() < 1e-6
+
+    def test_momentum_accelerates(self):
+        p1, g1 = quadratic_problem([5.0])
+        p2, g2 = quadratic_problem([5.0])
+        plain = SGD([p1], [g1], lr=0.01)
+        momentum = SGD([p2], [g2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            g1[...] = p1
+            plain.step()
+            g2[...] = p2
+            momentum.step()
+        assert abs(p2[0]) < abs(p1[0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [np.zeros(1)], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [np.zeros(1)], momentum=1.0)
+
+    def test_mismatched_lists(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [])
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, Adam's first step has magnitude ~lr."""
+        p, g = quadratic_problem([1.0])
+        opt = Adam([p], [g], lr=0.1)
+        g[...] = p
+        opt.step()
+        assert p[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p, g = quadratic_problem([5.0, -3.0, 2.0])
+        opt = Adam([p], [g], lr=0.05)
+        for _ in range(2000):
+            g[...] = p
+            opt.step()
+        assert np.abs(p).max() < 1e-3
+
+    def test_scale_invariance(self):
+        """Adam steps are invariant to gradient magnitude rescaling."""
+        p1, g1 = quadratic_problem([1.0])
+        p2, g2 = quadratic_problem([1.0])
+        a1 = Adam([p1], [g1], lr=0.01)
+        a2 = Adam([p2], [g2], lr=0.01)
+        for _ in range(10):
+            g1[...] = p1
+            a1.step()
+            g2[...] = 1000.0 * p2
+            a2.step()
+        assert p1[0] == pytest.approx(p2[0], abs=1e-6)
+
+    def test_state_persists(self):
+        p, g = quadratic_problem([1.0])
+        opt = Adam([p], [g], lr=0.1)
+        g[...] = 1.0
+        opt.step()
+        first = p.copy()
+        g[...] = 1.0
+        opt.step()
+        assert p[0] != first[0]
+        assert opt._t == 2
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], [np.zeros(1)], beta1=1.0)
+
+    def test_updates_in_place(self):
+        p, g = quadratic_problem([1.0])
+        original = p
+        opt = Adam([p], [g], lr=0.1)
+        g[...] = 1.0
+        opt.step()
+        assert original is p  # same array object mutated

@@ -1,0 +1,79 @@
+"""Tests for the mini-batch training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import BCELoss
+from repro.nn.network import build_mlp
+from repro.nn.optimizers import Adam
+from repro.nn.training import TrainingHistory, iterate_minibatches, train
+
+
+class TestIterateMinibatches:
+    def test_covers_all_indices(self, rng):
+        batches = list(iterate_minibatches(10, 3, rng))
+        combined = np.sort(np.concatenate(batches))
+        np.testing.assert_array_equal(combined, np.arange(10))
+
+    def test_batch_sizes(self, rng):
+        batches = list(iterate_minibatches(10, 4, rng))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_shuffle_off_is_ordered(self, rng):
+        batches = list(iterate_minibatches(6, 2, rng, shuffle=False))
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0, rng))
+
+
+class TestTrain:
+    def test_loss_decreases(self, rng):
+        net = build_mlp(3, hidden=16, random_state=0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(float)
+        history = train(net, X, y, epochs=30, batch_size=32, lr=1e-2,
+                        random_state=0)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_learns_separable_function(self, rng):
+        net = build_mlp(2, hidden=16, random_state=0)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        train(net, X, y, epochs=60, batch_size=64, lr=1e-2,
+              loss=BCELoss(), random_state=0)
+        pred = net.forward(X).ravel()
+        accuracy = np.mean((pred > 0.5) == y)
+        assert accuracy > 0.9
+
+    def test_zero_epochs_noop(self, rng):
+        net = build_mlp(2, hidden=4, random_state=0)
+        X = rng.normal(size=(10, 2))
+        before = net.forward(X).copy()
+        history = train(net, X, np.zeros(10), epochs=0, random_state=0)
+        np.testing.assert_array_equal(net.forward(X), before)
+        assert history.epoch_losses == []
+
+    def test_external_optimizer_state_persists(self, rng):
+        net = build_mlp(2, hidden=4, random_state=0)
+        opt = Adam(net.params, net.grads, lr=1e-3)
+        X = rng.normal(size=(20, 2))
+        y = rng.uniform(size=20)
+        train(net, X, y, epochs=2, optimizer=opt, random_state=0)
+        t_after_first = opt._t
+        train(net, X, y, epochs=2, optimizer=opt, random_state=0)
+        assert opt._t > t_after_first
+
+    def test_negative_epochs_raises(self, rng):
+        net = build_mlp(2, hidden=4, random_state=0)
+        with pytest.raises(ValueError):
+            train(net, rng.normal(size=(5, 2)), np.zeros(5), epochs=-1)
+
+    def test_history_final_loss(self):
+        history = TrainingHistory(epoch_losses=[0.5, 0.2])
+        assert history.final_loss == 0.2
+
+    def test_history_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            TrainingHistory().final_loss

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestListCommands:
+    def test_list_models(self):
+        code, text = run_cli("list-models")
+        assert code == 0
+        assert "IForest" in text
+        assert "DeepSVDD" in text
+        assert "ABOD" in text  # extra baselines listed too
+
+    def test_list_datasets(self):
+        code, text = run_cli("list-datasets")
+        assert code == 0
+        assert "84 datasets" in text
+        assert "abalone" in text
+
+    def test_list_datasets_category(self):
+        code, text = run_cli("list-datasets", "--category", "Web")
+        assert code == 0
+        assert "http" in text and "smtp" in text
+        assert "abalone" not in text
+
+
+class TestBoost:
+    def test_boost_runs(self):
+        code, text = run_cli(
+            "boost", "HBOS", "glass", "--iterations", "2",
+            "--max-samples", "150", "--max-features", "6")
+        assert code == 0
+        assert "AUCROC" in text
+        assert "UADB" in text
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("boost", "NotAModel", "glass")
+
+
+class TestSweep:
+    def test_sweep_runs(self):
+        code, text = run_cli(
+            "sweep", "--models", "HBOS", "--datasets", "glass",
+            "--iterations", "2", "--max-samples", "150",
+            "--max-features", "6")
+        assert code == 0
+        assert "[Table IV]" in text
+
+
+class TestVariance:
+    def test_variance_runs(self):
+        code, text = run_cli("variance", "--datasets", "glass", "wine",
+                             "--max-samples", "150")
+        assert code == 0
+        assert "[Fig 2]" in text
+
+
+class TestExport:
+    def test_export_npz(self, tmp_path):
+        target = tmp_path / "glass"
+        code, text = run_cli("export", "glass", str(target),
+                             "--max-samples", "120", "--max-features", "6")
+        assert code == 0
+        assert (tmp_path / "glass.npz").exists()
+
+    def test_export_csv(self, tmp_path):
+        target = tmp_path / "glass.csv"
+        code, text = run_cli("export", "glass", str(target),
+                             "--format", "csv", "--max-samples", "120",
+                             "--max-features", "6")
+        assert code == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert header.endswith("label")

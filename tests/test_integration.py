@@ -1,0 +1,92 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import UADBooster
+from repro.data import load_dataset, make_anomaly_dataset
+from repro.data.preprocessing import StandardScaler
+from repro.detectors import DETECTOR_NAMES, make_detector
+from repro.metrics import auc_roc, average_precision
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        assert repro.UADBooster is UADBooster
+        assert callable(repro.make_detector)
+        assert callable(repro.load_dataset)
+        assert callable(repro.auc_roc)
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        data = repro.make_anomaly_dataset("local", random_state=0)
+        X = StandardScaler().fit_transform(data.X)
+        source = repro.make_detector("IForest", random_state=0)
+        source.fit(X)
+        booster = repro.UADBooster(n_iterations=2, hidden=16,
+                                   random_state=0)
+        booster.fit(X, source)
+        assert auc_roc(data.y, booster.scores_) > 0.5
+
+
+@pytest.mark.parametrize("detector", DETECTOR_NAMES)
+def test_every_detector_boostable(detector):
+    """UADB is model-agnostic: every one of the 14 detectors must plug in."""
+    data = make_anomaly_dataset("global", n_inliers=130, n_anomalies=14,
+                                n_features=4, random_state=1)
+    X = StandardScaler().fit_transform(data.X)
+    source = make_detector(detector, random_state=0).fit(X)
+    booster = UADBooster(n_iterations=2, hidden=16, epochs_per_iteration=2,
+                         random_state=0)
+    booster.fit(X, source)
+    assert booster.scores_.shape == (data.n_samples,)
+    assert 0.0 <= average_precision(data.y, booster.scores_) <= 1.0
+
+
+def test_registry_to_booster_pipeline():
+    """Load a benchmark stand-in, fit, boost — the full harness path."""
+    ds = load_dataset("wine", max_samples=130, max_features=8)
+    X = StandardScaler().fit_transform(ds.X)
+    source = make_detector("HBOS").fit(X)
+    booster = UADBooster(n_iterations=2, hidden=16, epochs_per_iteration=2,
+                         random_state=0)
+    booster.fit(X, source)
+    source_auc = auc_roc(ds.y, source.fit_scores())
+    booster_auc = auc_roc(ds.y, booster.scores_)
+    assert np.isfinite(source_auc) and np.isfinite(booster_auc)
+
+
+def test_failure_injection_nan_features():
+    """NaN features must be rejected loudly at every entry point."""
+    X = np.ones((20, 3))
+    X[0, 0] = np.nan
+    with pytest.raises(ValueError):
+        make_detector("IForest").fit(X)
+    with pytest.raises(ValueError):
+        UADBooster().fit(X, np.ones(20))
+
+
+def test_failure_injection_constant_scores():
+    """A degenerate source (constant scores) must not crash the booster."""
+    data = make_anomaly_dataset("global", n_inliers=90, n_anomalies=10,
+                                n_features=3, random_state=0)
+    X = StandardScaler().fit_transform(data.X)
+    booster = UADBooster(n_iterations=2, hidden=16, epochs_per_iteration=2,
+                         random_state=0)
+    booster.fit(X, np.full(100, 0.5))
+    assert np.all(np.isfinite(booster.scores_))
+
+
+def test_cross_detector_score_scale_compatibility():
+    """fit_scores() of every detector feeds UADB on the same [0,1] scale."""
+    data = make_anomaly_dataset("clustered", n_inliers=90, n_anomalies=10,
+                                random_state=0)
+    X = StandardScaler().fit_transform(data.X)
+    for name in ("IForest", "LOF", "ECOD"):
+        scores = make_detector(name, random_state=0).fit(X).fit_scores()
+        assert scores.min() == pytest.approx(0.0)
+        assert scores.max() == pytest.approx(1.0)

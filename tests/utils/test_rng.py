@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import check_random_state, spawn_rng, stable_hash
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = check_random_state(42).integers(0, 1000, size=5)
+        b = check_random_state(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).integers(0, 2**31, size=8)
+        b = check_random_state(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = check_random_state(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="random_state"):
+            check_random_state("not-a-seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_random_state(3.14)
+
+
+class TestSpawnRng:
+    def test_count(self):
+        children = spawn_rng(np.random.default_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn_rng(np.random.default_rng(0), 2)
+        a = children[0].uniform(size=10)
+        b = children[1].uniform(size=10)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_from_parent_seed(self):
+        a = spawn_rng(np.random.default_rng(9), 3)
+        b = spawn_rng(np.random.default_rng(9), 3)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(
+                ga.integers(0, 100, 5), gb.integers(0, 100, 5))
+
+    def test_zero_children(self):
+        assert spawn_rng(np.random.default_rng(0), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(np.random.default_rng(0), -1)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abalone") == stable_hash("abalone")
+
+    def test_distinct_inputs(self):
+        assert stable_hash("abalone") != stable_hash("cardio")
+
+    def test_respects_modulus(self):
+        for text in ("a", "b", "longer-name"):
+            assert 0 <= stable_hash(text, modulus=97) < 97
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", modulus=0)
+
+    def test_unicode(self):
+        assert isinstance(stable_hash("数据集"), int)

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_scores,
+)
+
+
+class TestCheckArray:
+    def test_list_converted(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_1d_promoted_to_column(self):
+        out = check_array([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_array([[np.inf, 1.0]])
+
+    def test_min_samples(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            check_array(np.zeros((3, 2)), min_samples=5)
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="my_matrix"):
+            check_array(np.zeros((2, 2, 2)), name="my_matrix")
+
+    def test_not_2d_when_disabled(self):
+        out = check_array([1.0, 2.0], ensure_2d=False)
+        assert out.shape == (2,)
+
+
+class TestCheckConsistentLength:
+    def test_equal_ok(self):
+        check_consistent_length([1, 2], [3, 4])
+
+    def test_unequal_raises(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            check_consistent_length([1, 2], [3])
+
+    def test_none_ignored(self):
+        check_consistent_length([1, 2], None, [3, 4])
+
+
+class TestCheckFitted:
+    def test_missing_attribute_raises(self):
+        class Foo:
+            bar = None
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(Foo(), "bar")
+
+    def test_present_attribute_ok(self):
+        class Foo:
+            bar = 1.0
+
+        check_fitted(Foo(), "bar")
+
+
+class TestCheckScores:
+    def test_flattens(self):
+        out = check_scores([[1.0], [2.0]])
+        assert out.shape == (2,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_scores([])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            check_scores([1.0, np.nan])
