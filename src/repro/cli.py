@@ -28,6 +28,13 @@ from repro.metrics.ranking import auc_roc, average_precision
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -55,7 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--max-samples", type=int, default=400)
     p.add_argument("--max-features", type=int, default=24)
-    p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    p.add_argument("--seeds", nargs="+", type=int, default=[0],
+                   help="independent repetitions, seed-averaged downstream")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for the sweep (1 = serial; "
+                        "results are identical for any value)")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the on-disk per-cell result cache; "
+                        "re-running a sweep reuses finished cells")
 
     p = sub.add_parser("variance", help="Fig 2 variance-gap analysis")
     p.add_argument("--datasets", nargs="+", default=None)
@@ -121,15 +135,33 @@ def _cmd_boost(args, out) -> int:
 def _cmd_sweep(args, out) -> int:
     from repro.experiments import format_table4, run_grid, table4_summary
 
-    results = run_grid(
-        detectors=tuple(args.models),
-        datasets=tuple(args.datasets),
-        seeds=tuple(args.seeds),
-        n_iterations=args.iterations,
-        max_samples=args.max_samples,
-        max_features=args.max_features,
-        progress=lambda msg: out.write("  " + msg + "\n"),
-    )
+    n_cells = len(args.models) * len(args.datasets) * len(args.seeds)
+    out.write(
+        f"sweep: {len(args.models)} models x {len(args.datasets)} datasets "
+        f"x {len(args.seeds)} seeds = {n_cells} cells (jobs={args.jobs})\n")
+
+    def progress(msg):
+        out.write("  " + msg + "\n")
+        if hasattr(out, "flush"):
+            out.flush()
+
+    try:
+        results = run_grid(
+            detectors=tuple(args.models),
+            datasets=tuple(args.datasets),
+            seeds=tuple(args.seeds),
+            n_iterations=args.iterations,
+            max_samples=args.max_samples,
+            max_features=args.max_features,
+            progress=progress,
+            n_jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+    except (ValueError, KeyError) as exc:
+        # KeyError: unknown detector/dataset name from the registries.
+        msg = exc.args[0] if exc.args else exc
+        out.write(f"error: {msg}\n")
+        return 2
     out.write(format_table4(table4_summary(results)) + "\n")
     return 0
 

@@ -87,6 +87,14 @@ class UADBooster:
         Booster MLP architecture (paper default: 128 units, 3 layers).
     epochs_per_iteration, batch_size, lr :
         Inner supervised-training hyper-parameters (paper: 10 / 256 / 1e-3).
+    engine : {'batched', 'sequential'}
+        Fold-training engine (see :mod:`repro.core.ensemble`).  'batched'
+        (default) trains all folds per step with stacked tensor ops and is
+        severalfold faster; 'sequential' is the original per-fold loop.
+        Both produce identical scores for a fixed ``random_state``.
+    dtype : {'float32', 'float64'}
+        Booster training precision (float32 default, matching the
+        reference implementation's PyTorch default).
     record_history : bool
         Keep the per-iteration trace in :attr:`history_` (on by default;
         turn off to save memory in large sweeps).
@@ -100,12 +108,21 @@ class UADBooster:
         Final pseudo-label vector ``y_hat(T+1)``.
     history_ : BoosterHistory or None
         Per-iteration trace when ``record_history`` is set.
+
+    Notes
+    -----
+    The fitted booster caches the standardised design matrix keyed on the
+    *object identity* of the most recently scored array, so repeated
+    :meth:`score_samples` calls on the same array skip re-scaling.
+    Mutating that array in place between calls therefore goes unnoticed
+    and returns stale scores — pass a fresh array after any in-place edit.
     """
 
     def __init__(self, n_iterations: int = 10, n_folds: int = 3,
                  hidden: int = 128, n_layers: int = 3,
                  epochs_per_iteration: int = 10, batch_size: int = 256,
-                 lr: float = 1e-3, record_history: bool = True,
+                 lr: float = 1e-3, engine: str = "batched",
+                 dtype: str = "float32", record_history: bool = True,
                  random_state=None):
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
@@ -116,6 +133,8 @@ class UADBooster:
         self.epochs_per_iteration = epochs_per_iteration
         self.batch_size = batch_size
         self.lr = lr
+        self.engine = engine
+        self.dtype = dtype
         self.record_history = record_history
         self.random_state = random_state
         self.scores_ = None
@@ -127,7 +146,8 @@ class UADBooster:
         return FoldEnsemble(
             n_folds=self.n_folds, hidden=self.hidden, n_layers=self.n_layers,
             epochs=self.epochs_per_iteration, batch_size=self.batch_size,
-            lr=self.lr, random_state=self.random_state,
+            lr=self.lr, engine=self.engine, dtype=self.dtype,
+            random_state=self.random_state,
         )
 
     def fit(self, X, source) -> "UADBooster":

@@ -5,6 +5,20 @@ different 2/3 of the data (3-fold split), "to prevent the booster model from
 overfitting the source model"; at inference the three outputs are averaged.
 The fold networks and their Adam moment state persist across UADB
 iterations, so each iteration continues training rather than restarting.
+
+Two training engines are available:
+
+* ``'batched'`` (default) — the fold networks' parameters are stacked into
+  leading-axis tensors (:mod:`repro.nn.batched`) and every Adam step
+  advances all folds at once through single broadcast ``matmul`` calls.
+  This removes the per-fold Python loop from the hot path and is what makes
+  large benchmark sweeps tractable.
+* ``'sequential'`` — the original one-network-at-a-time loop, kept for
+  parity testing and as an executable specification of the semantics.
+
+Both engines consume the shared random stream in the same order (fold by
+fold, epoch by epoch) and perform bit-for-bit identical arithmetic, so a
+fixed ``random_state`` produces identical scores under either engine.
 """
 
 from __future__ import annotations
@@ -12,14 +26,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.preprocessing import KFoldSplitter, StandardScaler
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedBCELoss,
+    BatchedMSELoss,
+    link_networks,
+    stack_networks,
+)
 from repro.nn.losses import BCELoss, MSELoss
 from repro.nn.network import build_mlp
 from repro.nn.optimizers import Adam
-from repro.nn.training import train
+from repro.nn.training import TrainingHistory, iterate_minibatches, train
 from repro.utils.rng import check_random_state, spawn_rng
 from repro.utils.validation import check_array
 
-__all__ = ["FoldEnsemble"]
+__all__ = ["FoldEnsemble", "ENGINES"]
+
+ENGINES = ("batched", "sequential")
 
 
 class FoldEnsemble:
@@ -53,13 +76,31 @@ class FoldEnsemble:
         min-max-scaled teacher scores are compressed near 0 (the common
         regime on low-contamination data).  'mse' reproduces the effect of
         a plain regression loss for ablation.
+    engine : {'batched', 'sequential'}
+        Training engine (see module docstring).  Both engines produce
+        identical scores for a fixed ``random_state``; 'batched' is
+        severalfold faster.
+    dtype : {'float32', 'float64'}
+        Training precision.  float32 (default) matches the reference
+        implementation's PyTorch default and roughly doubles throughput
+        on the small GEMMs that dominate booster training; float64 is
+        available for numerically sensitive ablations.
     random_state : None, int, or Generator
+
+    Notes
+    -----
+    The ensemble caches the standardised design matrix for the most recent
+    input, keyed on object identity: repeated ``train_round``/``predict``
+    calls with the *same array object* (the UADB iteration loop) skip the
+    per-call validation + re-scaling of ``X``.  Mutating that array in
+    place between calls would go unnoticed — pass a fresh array instead.
     """
 
     def __init__(self, n_folds: int = 3, hidden: int = 128,
                  n_layers: int = 3, epochs: int = 10, batch_size: int = 256,
                  lr: float = 1e-3, min_steps_per_round: int = 100,
                  first_round_steps: int = 300, loss: str = "bce",
+                 engine: str = "batched", dtype: str = "float32",
                  random_state=None):
         if n_folds < 1:
             raise ValueError(f"n_folds must be >= 1, got {n_folds}")
@@ -73,6 +114,14 @@ class FoldEnsemble:
             )
         if loss not in ("bce", "mse"):
             raise ValueError(f"loss must be 'bce' or 'mse', got {loss!r}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if str(dtype) not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {dtype!r}"
+            )
         self.n_folds = n_folds
         self.hidden = hidden
         self.n_layers = n_layers
@@ -82,6 +131,8 @@ class FoldEnsemble:
         self.min_steps_per_round = min_steps_per_round
         self.first_round_steps = first_round_steps
         self.loss = loss
+        self.engine = engine
+        self.dtype = np.dtype(dtype)
         self.random_state = random_state
         self._rounds_done = 0
         self._networks = None
@@ -89,6 +140,10 @@ class FoldEnsemble:
         self._train_indices = None
         self._scaler = None
         self._rng = None
+        self._batched_net = None
+        self._batched_opt = None
+        self._cache_key = None
+        self._cache_Z = None
 
     @property
     def is_initialized(self) -> bool:
@@ -96,11 +151,11 @@ class FoldEnsemble:
 
     def initialize(self, X) -> "FoldEnsemble":
         """Create the fold networks, optimizers, and feature scaler."""
-        X = check_array(X, min_samples=2)
+        arr = check_array(X, min_samples=2)
         self._rng = check_random_state(self.random_state)
-        self._scaler = StandardScaler().fit(X)
+        self._scaler = StandardScaler().fit(arr)
 
-        n = X.shape[0]
+        n = arr.shape[0]
         n_folds = min(self.n_folds, n)
         if n_folds >= 2:
             splitter = KFoldSplitter(n_splits=n_folds,
@@ -111,46 +166,162 @@ class FoldEnsemble:
 
         net_rngs = spawn_rng(self._rng, len(self._train_indices))
         self._networks = [
-            build_mlp(X.shape[1], hidden=self.hidden, n_layers=self.n_layers,
-                      random_state=r)
+            build_mlp(arr.shape[1], hidden=self.hidden,
+                      n_layers=self.n_layers,
+                      random_state=r).astype(self.dtype)
             for r in net_rngs
         ]
-        self._optimizers = [
-            Adam(net.params, net.grads, lr=self.lr)
-            for net in self._networks
-        ]
+        if self.engine == "batched":
+            self._batched_net = stack_networks(self._networks)
+            # Per-fold networks view the stacked tensors: the ragged-step
+            # fallback and external introspection always see live weights.
+            link_networks(self._batched_net, self._networks)
+            self._batched_opt = BatchedAdam(
+                self._batched_net.params, self._batched_net.grads,
+                n_models=len(self._networks), lr=self.lr,
+                flat_params=self._batched_net.flat_params,
+                flat_grads=self._batched_net.flat_grads,
+            )
+        else:
+            self._optimizers = [
+                Adam(net.params, net.grads, lr=self.lr)
+                for net in self._networks
+            ]
+        self._cache_key = X
+        self._cache_Z = self._scaler.transform(arr).astype(self.dtype)
         return self
+
+    def _standardized(self, X) -> np.ndarray:
+        """Validated + standardised ``X``, cached by object identity."""
+        if X is self._cache_key and self._cache_Z is not None:
+            return self._cache_Z
+        Z = self._scaler.transform(check_array(X)).astype(self.dtype)
+        self._cache_key = X
+        self._cache_Z = Z
+        return Z
+
+    def _epoch_plan(self, n_train: int, step_floor: int) -> tuple:
+        """(steps_per_epoch, epochs) for one fold, honouring the floor."""
+        steps_per_epoch = int(np.ceil(n_train / self.batch_size))
+        epochs = max(
+            self.epochs,
+            int(np.ceil(step_floor / steps_per_epoch)),
+        )
+        return steps_per_epoch, epochs
 
     def train_round(self, X, pseudo_labels) -> list:
         """Train every fold network for ``epochs`` on its 2/3 split.
 
         Returns the per-fold :class:`~repro.nn.training.TrainingHistory`.
+        Under the batched engine all folds advance together, one stacked
+        Adam step at a time; the histories are identical either way.
         """
         if not self.is_initialized:
             raise RuntimeError("call initialize(X) before train_round")
-        X = check_array(X)
+        Z = self._standardized(X)
         y = np.asarray(pseudo_labels, dtype=np.float64).ravel()
-        if y.shape[0] != X.shape[0]:
+        if y.shape[0] != Z.shape[0]:
             raise ValueError("pseudo_labels length must match X")
-        Z = self._scaler.transform(X)
         step_floor = (self.first_round_steps if self._rounds_done == 0
                       else self.min_steps_per_round)
+        if self.engine == "batched":
+            histories = self._train_round_batched(Z, y, step_floor)
+        else:
+            histories = self._train_round_sequential(Z, y, step_floor)
+        self._rounds_done += 1
+        return histories
+
+    def _train_round_sequential(self, Z: np.ndarray, y: np.ndarray,
+                                step_floor: int) -> list:
+        """Original per-fold loop — the parity reference."""
         histories = []
         for net, opt, idx in zip(self._networks, self._optimizers,
                                  self._train_indices):
-            steps_per_epoch = int(np.ceil(idx.size / self.batch_size))
-            epochs = max(
-                self.epochs,
-                int(np.ceil(step_floor / steps_per_epoch)),
-            )
+            _, epochs = self._epoch_plan(idx.size, step_floor)
             loss_fn = BCELoss() if self.loss == "bce" else MSELoss()
             histories.append(
                 train(net, Z[idx], y[idx], epochs=epochs,
                       batch_size=self.batch_size, optimizer=opt,
                       loss=loss_fn, random_state=self._rng)
             )
-        self._rounds_done += 1
         return histories
+
+    def _train_round_batched(self, Z: np.ndarray, y: np.ndarray,
+                             step_floor: int) -> list:
+        """One stacked Adam step per minibatch across all folds at once.
+
+        The batch schedule is drawn up front, fold by fold, consuming the
+        shared rng exactly as the sequential loop would; execution then
+        interleaves the folds' steps.  Steps whose per-fold batches all
+        have the same size — every full-width batch, i.e. the bulk of the
+        schedule — run as single stacked tensor ops.  Ragged tail steps
+        (uneven last batches, folds whose rounds are shorter) fall back to
+        the per-fold 2-d layers, which share storage with the stacked
+        tensors, so both paths stay bit-for-bit identical to the
+        sequential engine.
+        """
+        K = len(self._train_indices)
+        # Per-fold batch schedule as global row indices, epoch-major.
+        schedules, spes = [], []
+        for idx in self._train_indices:
+            spe, epochs = self._epoch_plan(idx.size, step_floor)
+            batches = []
+            for _ in range(epochs):
+                for local in iterate_minibatches(idx.size, self.batch_size,
+                                                 self._rng):
+                    batches.append(idx[local])
+            schedules.append(batches)
+            spes.append(spe)
+
+        if self.loss == "bce":
+            stacked_loss = BatchedBCELoss()
+            fold_loss_fns = [BCELoss() for _ in range(K)]
+        else:
+            stacked_loss = BatchedMSELoss()
+            fold_loss_fns = [MSELoss() for _ in range(K)]
+        y_col = y.astype(self.dtype)[:, None]
+        fold_losses = [[] for _ in range(K)]
+        total_steps = max(len(s) for s in schedules)
+        for t in range(total_steps):
+            step_batches = [s[t] if t < len(s) else None for s in schedules]
+            counts = {len(b) for b in step_batches if b is not None}
+            if len(counts) == 1 and all(b is not None for b in step_batches):
+                rows = np.stack(step_batches)
+                pred = self._batched_net.forward(Z[rows])
+                losses = stacked_loss.forward(pred, y_col[rows])
+                self._batched_net.backward(stacked_loss.backward())
+                self._batched_opt.step()
+                for k, val in enumerate(losses):
+                    fold_losses[k].append(val)
+            else:
+                active = [b is not None for b in step_batches]
+                for k, batch in enumerate(step_batches):
+                    if batch is None:
+                        continue
+                    net, loss_fn = self._networks[k], fold_loss_fns[k]
+                    pred = net.forward(Z[batch])
+                    fold_losses[k].append(
+                        loss_fn.forward(pred, y_col[batch]))
+                    net.backward(loss_fn.backward())
+                    self._copy_fold_grads(k)
+                self._batched_opt.step(active=active)
+
+        histories = []
+        for k in range(K):
+            history = TrainingHistory()
+            batch_losses = fold_losses[k]
+            for start in range(0, len(batch_losses), spes[k]):
+                history.epoch_losses.append(
+                    float(np.mean(batch_losses[start:start + spes[k]]))
+                )
+            histories.append(history)
+        return histories
+
+    def _copy_fold_grads(self, k: int) -> None:
+        """Write fold ``k``'s per-layer gradients into the stacked buffers."""
+        for fold_grad, stacked_grad in zip(self._networks[k].grads,
+                                           self._batched_net.grads):
+            stacked_grad[k] = fold_grad.reshape(stacked_grad[k].shape)
 
     def predict(self, X) -> np.ndarray:
         """Averaged fold-network scores in [0, 1] for arbitrary data."""
@@ -166,7 +337,14 @@ class FoldEnsemble:
         """
         if not self.is_initialized:
             raise RuntimeError("call initialize(X) before predict")
-        X = check_array(X)
-        Z = self._scaler.transform(X)
-        return np.column_stack(
+        Z = self._standardized(X)
+        if self.engine == "batched":
+            # One broadcast forward scores every fold: (K, n, 1) -> (n, K).
+            out = self._batched_net.forward(Z[None, :, :])
+            self._batched_net.release_caches()
+            return out[:, :, 0].T
+        scores = np.column_stack(
             [net.forward(Z).ravel() for net in self._networks])
+        for net in self._networks:
+            net.release_caches()
+        return scores

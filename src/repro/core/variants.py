@@ -46,7 +46,8 @@ class _VariantBase:
     def __init__(self, n_iterations: int = 10, n_folds: int = 3,
                  hidden: int = 128, n_layers: int = 3,
                  epochs_per_iteration: int = 10, batch_size: int = 256,
-                 lr: float = 1e-3, random_state=None):
+                 lr: float = 1e-3, engine: str = "batched",
+                 dtype: str = "float32", random_state=None):
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         self.n_iterations = n_iterations
@@ -56,6 +57,8 @@ class _VariantBase:
         self.epochs_per_iteration = epochs_per_iteration
         self.batch_size = batch_size
         self.lr = lr
+        self.engine = engine
+        self.dtype = dtype
         self.random_state = random_state
         self.scores_ = None
         self._ensemble = None
@@ -69,7 +72,8 @@ class _VariantBase:
         self._ensemble = FoldEnsemble(
             n_folds=self.n_folds, hidden=self.hidden, n_layers=self.n_layers,
             epochs=self.epochs_per_iteration, batch_size=self.batch_size,
-            lr=self.lr, random_state=self.random_state,
+            lr=self.lr, engine=self.engine, dtype=self.dtype,
+            random_state=self.random_state,
         ).initialize(X)
 
         pseudo = source_scores

@@ -2,13 +2,26 @@
 
 The unit of work is :func:`run_single` — one (detector, dataset, seed)
 cell producing source/booster AUCROC and AP plus the per-iteration trace.
-:func:`run_grid` sweeps detectors x datasets x seeds and averages seeds,
-exactly the protocol behind the paper's Table IV / Table V / Figs 7-10.
+:class:`ExperimentRunner` executes a detectors x datasets x seeds grid of
+such cells, optionally fanning them out over a ``concurrent.futures``
+process pool (``n_jobs``) and caching each cell's :class:`RunResult` on
+disk (``cache_dir``), keyed by a hash of the cell configuration and the
+dataset contents.  :func:`run_grid` is the functional front-end used by
+the CLI and benchmarks; it reproduces exactly the protocol behind the
+paper's Table IV / Table V / Figs 7-10.
+
+Cells are deterministic given their seed, so the parallel runner returns
+results identical to a serial sweep, in the same grid order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -21,8 +34,8 @@ from repro.detectors.registry import DETECTOR_NAMES, make_detector
 from repro.metrics.ranking import auc_roc, average_precision
 from repro.utils.rng import check_random_state
 
-__all__ = ["RunResult", "run_single", "run_variant", "run_grid",
-           "DEFAULT_BENCH_DATASETS"]
+__all__ = ["RunResult", "ExperimentRunner", "run_single", "run_variant",
+           "run_grid", "DEFAULT_BENCH_DATASETS"]
 
 # A deliberately heterogeneous 20-dataset core used by the default (fast)
 # benchmark configuration: it mixes datasets where the classic detectors do
@@ -150,10 +163,160 @@ def _resolve_datasets(datasets, max_samples: int,
     return resolved
 
 
+def _execute_cell(spec: dict) -> RunResult:
+    """Run one grid cell from its picklable spec (process-pool worker)."""
+    return run_single(
+        spec["dataset"], spec["detector"],
+        n_iterations=spec["n_iterations"], seed=spec["seed"],
+        booster_kwargs=spec["booster_kwargs"])
+
+
+class ExperimentRunner:
+    """Execute a grid of (detector, dataset, seed) cells, possibly in parallel.
+
+    Parameters
+    ----------
+    n_jobs : int
+        Worker processes for the sweep.  1 (default) runs cells inline;
+        ``n_jobs > 1`` fans pending cells out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells are
+        deterministic given their seed, so the returned list is identical
+        to a serial run and always in grid order (datasets outermost,
+        seeds innermost) regardless of completion order.
+    cache_dir : str, Path, or None
+        When set, each finished cell's :class:`RunResult` is written to
+        ``cache_dir`` as JSON, keyed by a SHA-256 over the cell
+        configuration *and the dataset contents*; later sweeps (any
+        process) reuse matching entries instead of re-running the cell.
+        Unreadable or incompatible cache files are treated as misses.
+    progress : callable or None
+        Called with a one-line status string after every cell, including
+        a ``[done/total]`` counter; cached cells are flagged.
+
+    Examples
+    --------
+    >>> runner = ExperimentRunner(n_jobs=4, cache_dir="results/.cache")
+    >>> results = runner.run_grid(detectors=("IForest", "HBOS"),
+    ...                           datasets=("glass", "cardio"), seeds=(0, 1))
+    """
+
+    _CACHE_VERSION = 1
+
+    def __init__(self, n_jobs: int = 1, cache_dir=None, progress=None):
+        if int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists() \
+                and not self.cache_dir.is_dir():
+            raise ValueError(
+                f"cache_dir is not a directory: {self.cache_dir}")
+        self.progress = progress
+
+    def run_grid(self, detectors=DETECTOR_NAMES,
+                 datasets=DEFAULT_BENCH_DATASETS, seeds=(0,),
+                 n_iterations: int = 10, max_samples: int = 600,
+                 max_features: int = 32,
+                 booster_kwargs: dict | None = None) -> list:
+        """Run the full detector x dataset x seed grid; see :func:`run_grid`."""
+        resolved = _resolve_datasets(datasets, max_samples, max_features)
+        specs = [
+            {"dataset": dataset, "detector": name, "seed": seed,
+             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs}
+            for dataset in resolved
+            for name in detectors
+            for seed in seeds
+        ]
+        results = [None] * len(specs)
+        done = 0
+        pending = []
+        for i, spec in enumerate(specs):
+            cached = self._cache_load(spec)
+            if cached is not None:
+                results[i] = cached
+                done += 1
+                self._report(cached, done, len(specs), cached_hit=True)
+            else:
+                pending.append(i)
+
+        if self.n_jobs == 1 or len(pending) <= 1:
+            for i in pending:
+                results[i] = _execute_cell(specs[i])
+                self._cache_store(specs[i], results[i])
+                done += 1
+                self._report(results[i], done, len(specs))
+        else:
+            workers = min(self.n_jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_cell, specs[i]): i
+                           for i in pending}
+                for future in as_completed(futures):
+                    i = futures[future]
+                    results[i] = future.result()
+                    self._cache_store(specs[i], results[i])
+                    done += 1
+                    self._report(results[i], done, len(specs))
+        return results
+
+    # -- progress -----------------------------------------------------------
+
+    def _report(self, result: RunResult, done: int, total: int,
+                cached_hit: bool = False) -> None:
+        if self.progress is None:
+            return
+        suffix = "  [cached]" if cached_hit else ""
+        self.progress(
+            f"[{done}/{total}] {result.detector:>9s} on "
+            f"{result.dataset:<20s} seed={result.seed} "
+            f"AUC {result.source_auc:.3f}->{result.booster_auc:.3f}{suffix}"
+        )
+
+    # -- on-disk result cache ----------------------------------------------
+
+    def _cache_path(self, spec: dict) -> Path:
+        dataset = spec["dataset"]
+        fingerprint = hashlib.sha256()
+        fingerprint.update(dataset.name.encode())
+        fingerprint.update(np.ascontiguousarray(dataset.X).tobytes())
+        fingerprint.update(np.ascontiguousarray(dataset.y).tobytes())
+        key = json.dumps(
+            {"version": self._CACHE_VERSION,
+             "detector": spec["detector"],
+             "dataset": fingerprint.hexdigest(),
+             "seed": spec["seed"],
+             "n_iterations": spec["n_iterations"],
+             "booster_kwargs": spec["booster_kwargs"]},
+            sort_keys=True, default=repr,
+        )
+        digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+        safe = "".join(c if c.isalnum() else "-" for c in dataset.name)
+        return self.cache_dir / (
+            f"{spec['detector']}-{safe}-s{spec['seed']}-{digest}.json")
+
+    def _cache_load(self, spec: dict):
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._cache_path(spec)) as fh:
+                return RunResult(**json.load(fh))
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def _cache_store(self, spec: dict, result: RunResult) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(spec)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(asdict(result), fh)
+        os.replace(tmp, path)
+
+
 def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
              seeds=(0,), n_iterations: int = 10, max_samples: int = 600,
              max_features: int = 32, booster_kwargs: dict | None = None,
-             progress=None) -> list:
+             progress=None, n_jobs: int = 1, cache_dir=None) -> list:
     """Run the full detector x dataset x seed grid.
 
     Parameters
@@ -165,24 +328,22 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
     max_samples, max_features : int
         Size caps applied when loading named benchmark datasets.
     progress : callable or None
-        Called with a status string after every cell (hook for benchmarks).
+        Called with a status string after every cell (hook for the CLI
+        and benchmarks).
+    n_jobs : int
+        Worker processes (see :class:`ExperimentRunner`); cells are
+        deterministic, so any ``n_jobs`` produces identical results.
+    cache_dir : str, Path, or None
+        On-disk :class:`RunResult` cache (see :class:`ExperimentRunner`).
 
     Returns
     -------
     list of RunResult
+        In grid order: datasets outermost, then detectors, then seeds.
     """
-    resolved = _resolve_datasets(datasets, max_samples, max_features)
-    results = []
-    for dataset in resolved:
-        for name in detectors:
-            for seed in seeds:
-                result = run_single(
-                    dataset, name, n_iterations=n_iterations, seed=seed,
-                    booster_kwargs=booster_kwargs)
-                results.append(result)
-                if progress is not None:
-                    progress(
-                        f"{name:>9s} on {dataset.name:<20s} seed={seed} "
-                        f"AUC {result.source_auc:.3f}->{result.booster_auc:.3f}"
-                    )
-    return results
+    runner = ExperimentRunner(n_jobs=n_jobs, cache_dir=cache_dir,
+                              progress=progress)
+    return runner.run_grid(
+        detectors=detectors, datasets=datasets, seeds=seeds,
+        n_iterations=n_iterations, max_samples=max_samples,
+        max_features=max_features, booster_kwargs=booster_kwargs)

@@ -7,6 +7,15 @@ explicit, testable forward/backward passes.
 """
 
 from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedBCELoss,
+    BatchedLinear,
+    BatchedMSELoss,
+    link_networks,
+    scatter_networks,
+    stack_networks,
+)
 from repro.nn.layers import Dense
 from repro.nn.losses import BCELoss, MSELoss
 from repro.nn.network import Sequential, build_mlp
@@ -19,6 +28,13 @@ __all__ = [
     "ReLU",
     "Sigmoid",
     "Tanh",
+    "BatchedAdam",
+    "BatchedBCELoss",
+    "BatchedLinear",
+    "BatchedMSELoss",
+    "link_networks",
+    "scatter_networks",
+    "stack_networks",
     "Dense",
     "BCELoss",
     "MSELoss",

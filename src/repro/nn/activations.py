@@ -46,12 +46,16 @@ class ReLU(_Activation):
 
     def forward(self, x):
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        # np.maximum is a single ufunc pass; np.where costs ~10x more on
+        # the booster's hidden activations and dominated its training time.
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_out):
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * self._mask
+        grad_in = grad_out * self._mask
+        self._mask = None  # release the batch-sized cache between steps
+        return grad_in
 
 
 class LeakyReLU(_Activation):
@@ -70,7 +74,9 @@ class LeakyReLU(_Activation):
     def backward(self, grad_out):
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * np.where(self._mask, 1.0, self.alpha)
+        grad_in = grad_out * np.where(self._mask, 1.0, self.alpha)
+        self._mask = None  # release the batch-sized cache between steps
+        return grad_in
 
     def __repr__(self):
         return f"LeakyReLU(alpha={self.alpha})"
@@ -94,7 +100,9 @@ class Sigmoid(_Activation):
     def backward(self, grad_out):
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * self._out * (1.0 - self._out)
+        grad_in = grad_out * self._out * (1.0 - self._out)
+        self._out = None  # release the batch-sized cache between steps
+        return grad_in
 
 
 class Tanh(_Activation):
@@ -110,4 +118,6 @@ class Tanh(_Activation):
     def backward(self, grad_out):
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * (1.0 - self._out**2)
+        grad_in = grad_out * (1.0 - self._out**2)
+        self._out = None  # release the batch-sized cache between steps
+        return grad_in

@@ -58,7 +58,27 @@ class Dense:
         self.dW[...] = self._x.T @ grad_out
         if self.b is not None:
             self.db[...] = grad_out.sum(axis=0)
-        return grad_out @ self.W.T
+        grad_in = grad_out @ self.W.T
+        # Drop the cached input: it is only needed for this backward pass,
+        # and holding it pins a full batch per layer between steps.
+        self._x = None
+        return grad_in
+
+    def astype(self, dtype) -> "Dense":
+        """Cast parameters and gradient buffers to ``dtype``.
+
+        A real cast must reallocate the buffers, which orphans any
+        optimizer already holding references to them — call this before
+        constructing optimizers.  Casting to the current dtype is a no-op.
+        """
+        if self.W.dtype == np.dtype(dtype):
+            return self
+        self.W = self.W.astype(dtype)
+        self.dW = np.zeros_like(self.W)
+        if self.b is not None:
+            self.b = self.b.astype(dtype)
+            self.db = np.zeros_like(self.b)
+        return self
 
     @property
     def params(self) -> list:

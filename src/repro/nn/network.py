@@ -42,6 +42,34 @@ class Sequential:
     def grads(self) -> list:
         return [g for layer in self.layers for g in layer.grads]
 
+    def astype(self, dtype) -> "Sequential":
+        """Cast every layer's parameters to ``dtype``.
+
+        The booster trains in float32 (the reference implementation's
+        PyTorch default); detectors that reuse this container keep float64.
+        A real cast reallocates the parameter/gradient buffers, so call
+        this before constructing optimizers over :attr:`params`/
+        :attr:`grads` (casting to the current dtype is a no-op).
+        """
+        for layer in self.layers:
+            cast = getattr(layer, "astype", None)
+            if cast is not None:
+                cast(dtype)
+        return self
+
+    def release_caches(self) -> "Sequential":
+        """Drop the per-layer forward caches kept for ``backward``.
+
+        Inference-only passes (scoring) never call ``backward``, which is
+        what normally frees these batch-sized buffers — call this after
+        such a pass so a long-lived network doesn't pin its last batch.
+        """
+        for layer in self.layers:
+            for attr in ("_x", "_mask", "_out"):
+                if hasattr(layer, attr):
+                    setattr(layer, attr, None)
+        return self
+
     def get_weights(self) -> list:
         """Copies of all parameters (for checkpointing)."""
         return [p.copy() for p in self.params]

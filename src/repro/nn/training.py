@@ -50,8 +50,12 @@ def train(network, X: np.ndarray, y: np.ndarray, epochs: int = 10,
     """
     if epochs < 0:
         raise ValueError(f"epochs must be non-negative, got {epochs}")
-    X = np.asarray(X, dtype=np.float64)
-    target = np.asarray(y, dtype=np.float64).reshape(X.shape[0], -1)
+    X = np.asarray(X)
+    if X.dtype not in (np.float32, np.float64):
+        X = X.astype(np.float64)
+    # Targets follow the design matrix's precision (float32 booster
+    # training feeds float32 features; everything else stays float64).
+    target = np.asarray(y, dtype=X.dtype).reshape(X.shape[0], -1)
     rng = check_random_state(random_state)
     loss = loss if loss is not None else MSELoss()
     if optimizer is None:

@@ -5,6 +5,7 @@ import pytest
 from repro.data.synthetic import make_anomaly_dataset
 from repro.experiments.harness import (
     DEFAULT_BENCH_DATASETS,
+    ExperimentRunner,
     run_grid,
     run_single,
     run_variant,
@@ -79,8 +80,60 @@ class TestRunGrid:
                  progress=messages.append, **FAST)
         assert len(messages) == 1
         assert "HBOS" in messages[0]
+        assert "[1/1]" in messages[0]
 
     def test_default_bench_datasets_are_registered(self):
         from repro.data.registry import DATASET_NAMES
         for name in DEFAULT_BENCH_DATASETS:
             assert name in DATASET_NAMES
+
+
+@pytest.fixture(scope="module")
+def second_dataset():
+    return make_anomaly_dataset("local", n_inliers=120, n_anomalies=12,
+                                n_features=4, random_state=5)
+
+
+class TestExperimentRunner:
+    GRID = {"detectors": ("IForest", "HBOS"), "seeds": (0,)}
+
+    def test_parallel_matches_serial(self, tiny_dataset, second_dataset):
+        datasets = (tiny_dataset, second_dataset)
+        serial = run_grid(datasets=datasets, **self.GRID, **FAST)
+        parallel = run_grid(datasets=datasets, n_jobs=2, **self.GRID, **FAST)
+        assert parallel == serial
+
+    def test_cache_roundtrip_exact(self, tiny_dataset, second_dataset,
+                                   tmp_path):
+        datasets = (tiny_dataset, second_dataset)
+        first = run_grid(datasets=datasets, cache_dir=tmp_path,
+                         **self.GRID, **FAST)
+        assert len(list(tmp_path.glob("*.json"))) == 4
+        messages = []
+        second = run_grid(datasets=datasets, cache_dir=tmp_path,
+                          progress=messages.append, **self.GRID, **FAST)
+        assert second == first
+        assert all("[cached]" in msg for msg in messages)
+
+    def test_cache_keyed_on_config(self, tiny_dataset, tmp_path):
+        run_grid(detectors=("HBOS",), datasets=(tiny_dataset,), seeds=(0,),
+                 cache_dir=tmp_path, **FAST)
+        run_grid(detectors=("HBOS",), datasets=(tiny_dataset,), seeds=(1,),
+                 cache_dir=tmp_path, **FAST)
+        run_grid(detectors=("HBOS",), datasets=(tiny_dataset,), seeds=(0,),
+                 cache_dir=tmp_path, n_iterations=3,
+                 booster_kwargs=FAST["booster_kwargs"])
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_corrupt_cache_entry_is_recomputed(self, tiny_dataset, tmp_path):
+        first = run_grid(detectors=("HBOS",), datasets=(tiny_dataset,),
+                         seeds=(0,), cache_dir=tmp_path, **FAST)
+        (entry,) = tmp_path.glob("*.json")
+        entry.write_text("{not json")
+        again = run_grid(detectors=("HBOS",), datasets=(tiny_dataset,),
+                         seeds=(0,), cache_dir=tmp_path, **FAST)
+        assert again == first
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(n_jobs=0)

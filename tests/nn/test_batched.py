@@ -1,0 +1,215 @@
+"""Unit tests for the stacked (fold-parallel) network primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.batched import (
+    BatchedAdam,
+    BatchedBCELoss,
+    BatchedLinear,
+    BatchedMSELoss,
+    link_networks,
+    scatter_networks,
+    stack_networks,
+)
+from repro.nn.losses import BCELoss, MSELoss
+from repro.nn.network import build_mlp
+from repro.nn.optimizers import Adam
+
+
+def _make_nets(K=3, d_in=4, hidden=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return [build_mlp(d_in, hidden=hidden, n_layers=3,
+                      random_state=np.random.default_rng(rng.integers(2**31)))
+            for _ in range(K)]
+
+
+class TestStacking:
+    def test_stacked_forward_matches_per_net(self):
+        nets = _make_nets()
+        batched = stack_networks(nets)
+        x = np.random.default_rng(1).normal(size=(3, 10, 4))
+        out = batched.forward(x)
+        for k, net in enumerate(nets):
+            assert np.array_equal(out[k], net.forward(x[k]))
+
+    def test_broadcast_leading_axis(self):
+        nets = _make_nets()
+        batched = stack_networks(nets)
+        x = np.random.default_rng(1).normal(size=(10, 4))
+        out = batched.forward(x[None, :, :])
+        assert out.shape == (3, 10, 1)
+        for k, net in enumerate(nets):
+            assert np.array_equal(out[k], net.forward(x))
+
+    def test_params_are_views_of_flat_buffer(self):
+        batched = stack_networks(_make_nets())
+        total = sum(p.size for p in batched.params)
+        assert batched.flat_params.size == total
+        for p in batched.params:
+            assert p.base is not None
+        batched.flat_params[:] = 0.0
+        assert all(np.all(p == 0.0) for p in batched.params)
+
+    def test_stack_requires_networks(self):
+        with pytest.raises(ValueError):
+            stack_networks([])
+
+    def test_stack_rejects_architecture_mismatch(self):
+        a = build_mlp(4, hidden=8, n_layers=3, random_state=0)
+        b = build_mlp(4, hidden=8, n_layers=2, random_state=0)
+        with pytest.raises(ValueError):
+            stack_networks([a, b])
+
+    def test_link_networks_shares_storage(self):
+        nets = _make_nets()
+        batched = stack_networks(nets)
+        link_networks(batched, nets)
+        batched.layers[0].W[1, 0, 0] = 123.0
+        assert nets[1].layers[0].W[0, 0] == 123.0
+        nets[2].layers[0].b[0] = -7.0
+        assert batched.layers[0].b[2, 0, 0] == -7.0
+
+    def test_scatter_copies_back(self):
+        nets = _make_nets()
+        batched = stack_networks(nets)
+        batched.flat_params[:] = 0.5
+        scatter_networks(batched, nets)
+        for net in nets:
+            assert np.all(net.layers[0].W == 0.5)
+
+
+class TestBatchedLinear:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchedLinear(np.zeros((4, 5)), None)
+        with pytest.raises(ValueError):
+            BatchedLinear(np.zeros((2, 4, 5)), np.zeros((2, 5)))
+        layer = BatchedLinear(np.zeros((2, 4, 5)), np.zeros((2, 1, 5)))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((3, 7, 4)))  # wrong leading axis
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((7, 4)))  # not stacked
+
+    def test_backward_before_forward_raises(self):
+        layer = BatchedLinear(np.zeros((2, 4, 5)), np.zeros((2, 1, 5)))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 7, 5)))
+
+    def test_gradients_match_dense(self):
+        from repro.nn.layers import Dense
+
+        rng = np.random.default_rng(3)
+        dense = [Dense(4, 5, random_state=rng) for _ in range(2)]
+        W = np.stack([d.W for d in dense])
+        b = np.stack([d.b for d in dense])[:, None, :]
+        layer = BatchedLinear(W, b)
+        x = rng.normal(size=(2, 6, 4))
+        g = rng.normal(size=(2, 6, 5))
+        layer.forward(x)
+        grad_in = layer.backward(g)
+        for k, d in enumerate(dense):
+            d.forward(x[k])
+            expected = d.backward(g[k])
+            assert np.array_equal(grad_in[k], expected)
+            assert np.array_equal(layer.dW[k], d.dW)
+            assert np.array_equal(layer.db[k, 0], d.db)
+
+
+class TestBatchedAdam:
+    def _pair(self, K=3, shape=(4, 5), seed=0):
+        rng = np.random.default_rng(seed)
+        stacked = rng.normal(size=(K,) + shape)
+        singles = [stacked[k].copy() for k in range(K)]
+        return stacked, singles
+
+    def test_matches_per_model_adam(self):
+        stacked, singles = self._pair()
+        grads = np.zeros_like(stacked)
+        opt = BatchedAdam([stacked], [grads], n_models=3, lr=0.01)
+        refs = [Adam([s], [g], lr=0.01)
+                for s, g in zip(singles, [np.zeros_like(s) for s in singles])]
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            g = rng.normal(size=stacked.shape)
+            grads[...] = g
+            opt.step()
+            for k, ref in enumerate(refs):
+                ref.grads[0][...] = g[k]
+                ref.step()
+        for k, ref in enumerate(refs):
+            assert np.array_equal(stacked[k], ref.params[0])
+
+    def test_active_mask_freezes_inactive_models(self):
+        stacked, _ = self._pair()
+        before = stacked[2].copy()
+        grads = np.ones_like(stacked)
+        opt = BatchedAdam([stacked], [grads], n_models=3, lr=0.01)
+        opt.step(active=[True, True, False])
+        assert np.array_equal(stacked[2], before)
+        assert not np.array_equal(stacked[0], before)
+        assert opt._t == [1, 1, 0]
+
+    def test_diverged_timesteps_match_reference(self):
+        # Model 2 skips a step, then all models step together: the group
+        # update must apply each model's own bias correction.
+        stacked, singles = self._pair()
+        grads = np.zeros_like(stacked)
+        opt = BatchedAdam([stacked], [grads], n_models=3, lr=0.01)
+        refs = [Adam([s], [np.zeros_like(s)], lr=0.01) for s in singles]
+        rng = np.random.default_rng(2)
+        plans = [[True, True, False], [True, True, True]]
+        for active in plans:
+            g = rng.normal(size=stacked.shape)
+            grads[...] = g
+            opt.step(active=active)
+            for k, ref in enumerate(refs):
+                if active[k]:
+                    ref.grads[0][...] = g[k]
+                    ref.step()
+        for k, ref in enumerate(refs):
+            assert np.array_equal(stacked[k], ref.params[0])
+
+    def test_no_active_models_is_noop(self):
+        stacked, _ = self._pair()
+        before = stacked.copy()
+        opt = BatchedAdam([stacked], [np.ones_like(stacked)], n_models=3)
+        opt.step(active=[False, False, False])
+        assert np.array_equal(stacked, before)
+
+    def test_validation(self):
+        p = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            BatchedAdam([p], [np.zeros_like(p)], n_models=3, lr=0.0)
+        with pytest.raises(ValueError):
+            BatchedAdam([p], [np.zeros_like(p)], n_models=4)
+        with pytest.raises(ValueError):
+            BatchedAdam([p], [], n_models=3)
+        with pytest.raises(ValueError):
+            BatchedAdam([p], [np.zeros_like(p)], n_models=3,
+                        flat_params=np.zeros(5), flat_grads=np.zeros(5))
+
+
+class TestBatchedLosses:
+    @pytest.mark.parametrize("batched_cls,single_cls",
+                             [(BatchedMSELoss, MSELoss),
+                              (BatchedBCELoss, BCELoss)])
+    def test_matches_per_model_loss(self, batched_cls, single_cls):
+        rng = np.random.default_rng(4)
+        pred = rng.uniform(0.01, 0.99, size=(3, 8, 1))
+        target = rng.uniform(size=(3, 8, 1))
+        batched = batched_cls()
+        values = batched.forward(pred, target)
+        grad = batched.backward()
+        for k in range(3):
+            single = single_cls()
+            assert values[k] == single.forward(pred[k], target[k])
+            assert np.array_equal(grad[k], single.backward())
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchedMSELoss().backward()
+
+    def test_bce_eps_validation(self):
+        with pytest.raises(ValueError):
+            BatchedBCELoss(eps=0.7)

@@ -67,6 +67,27 @@ class TestSweep:
         assert code == 0
         assert "[Table IV]" in text
 
+    def test_sweep_reports_cells_and_progress(self):
+        code, text = run_cli(
+            "sweep", "--models", "HBOS", "--datasets", "glass",
+            "--iterations", "2", "--max-samples", "150",
+            "--max-features", "6", "--seeds", "0", "1")
+        assert code == 0
+        assert "= 2 cells" in text
+        assert "[1/2]" in text and "[2/2]" in text
+
+    def test_sweep_parallel_with_cache(self, tmp_path):
+        argv = ["sweep", "--models", "HBOS", "--datasets", "glass",
+                "--iterations", "2", "--max-samples", "150",
+                "--max-features", "6", "--jobs", "2", "--seeds", "0", "1",
+                "--cache-dir", str(tmp_path)]
+        code, text = run_cli(*argv)
+        assert code == 0
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        code, text = run_cli(*argv)
+        assert code == 0
+        assert text.count("[cached]") == 2
+
 
 class TestVariance:
     def test_variance_runs(self):
