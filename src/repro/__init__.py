@@ -26,7 +26,7 @@ from repro.data import Dataset, load_dataset, make_anomaly_dataset
 from repro.detectors import DETECTOR_NAMES, make_detector
 from repro.metrics import auc_roc, average_precision
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "UADBooster",

@@ -5,9 +5,13 @@ Commands
 list-models            the 14 paper models + the extra baselines
 list-datasets          the 84-dataset registry with Table III statistics
 boost                  fit one detector + UADB booster on one dataset
+                       (``--save DIR`` persists the booster artifact)
 sweep                  Table IV protocol over a model/dataset grid
 variance               the Fig 2 variance-gap analysis
 export                 write a registry stand-in to .npz / .csv
+save                   fit a source detector and persist it as an artifact
+load-score             load a saved artifact and score a dataset with it
+serve                  serve saved models over a JSON HTTP API
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.data.preprocessing import StandardScaler
 from repro.data.registry import DATASET_NAMES, dataset_specs, load_dataset
 from repro.detectors.registry import (
@@ -40,6 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="UADB (ICDE 2023) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-models", help="list available detectors")
@@ -55,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-samples", type=int, default=600)
     p.add_argument("--max-features", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", default=None, metavar="DIR",
+                   help="persist the fitted booster as a model artifact "
+                        "(serve it with `repro serve DIR`)")
 
     p = sub.add_parser("sweep", help="Table IV protocol on a grid")
     p.add_argument("--models", nargs="+", default=list(DETECTOR_NAMES))
@@ -81,6 +91,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("npz", "csv"), default="npz")
     p.add_argument("--max-samples", type=int, default=1200)
     p.add_argument("--max-features", type=int, default=64)
+
+    p = sub.add_parser("save", help="fit a source detector and persist it")
+    p.add_argument("detector", choices=ALL_DETECTOR_NAMES)
+    p.add_argument("dataset", choices=DATASET_NAMES, metavar="dataset")
+    p.add_argument("path", metavar="DIR", help="artifact directory to write")
+    p.add_argument("--max-samples", type=int, default=600)
+    p.add_argument("--max-features", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("load-score",
+                       help="load a saved artifact and score a dataset")
+    p.add_argument("path", metavar="DIR", help="artifact directory to load")
+    p.add_argument("dataset", choices=DATASET_NAMES, metavar="dataset")
+    p.add_argument("--max-samples", type=int, default=600)
+    p.add_argument("--max-features", type=int, default=32)
+
+    p = sub.add_parser("serve", help="serve saved models over HTTP/JSON")
+    p.add_argument("path", metavar="DIR",
+                   help="one artifact directory, or a directory of them")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--cache-size", type=_positive_int, default=4,
+                   help="models kept loaded in the LRU cache")
+    p.add_argument("--no-micro-batch", action="store_true",
+                   help="score each request individually (diagnostic; "
+                        "micro-batching is the fast default)")
     return parser
 
 
@@ -129,6 +166,103 @@ def _cmd_boost(args, out) -> int:
     out.write(f"UADB      : T={args.iterations}  "
               f"AUCROC={auc_roc(dataset.y, booster.scores_):.4f}  "
               f"AP={average_precision(dataset.y, booster.scores_):.4f}\n")
+    if args.save is not None:
+        from repro.serving import save_model
+
+        path = save_model(booster, args.save, data=X, extra={
+            "detector": args.detector,
+            "dataset": args.dataset,
+            "seed": args.seed,
+            "max_samples": args.max_samples,
+            "max_features": args.max_features,
+            "aucroc": auc_roc(dataset.y, booster.scores_),
+            "ap": average_precision(dataset.y, booster.scores_),
+        })
+        out.write(f"saved     : {path} (serve with `repro serve {path}`)\n")
+    return 0
+
+
+def _cmd_save(args, out) -> int:
+    from repro.serving import save_model
+
+    dataset = load_dataset(args.dataset, max_samples=args.max_samples,
+                           max_features=args.max_features)
+    X = StandardScaler().fit_transform(dataset.X)
+    detector = make_detector(args.detector, random_state=args.seed)
+    detector.fit(X)
+    scores = detector.fit_scores()
+    path = save_model(detector, args.path, data=X, extra={
+        "detector": args.detector,
+        "dataset": args.dataset,
+        "seed": args.seed,
+        "max_samples": args.max_samples,
+        "max_features": args.max_features,
+        "aucroc": auc_roc(dataset.y, scores),
+        "ap": average_precision(dataset.y, scores),
+    })
+    out.write(f"saved {args.detector} fitted on {dataset.name} "
+              f"(n={dataset.n_samples}, d={dataset.n_features}) to {path}\n")
+    return 0
+
+
+def _cmd_load_score(args, out) -> int:
+    from repro.serving import ArtifactError, load_model, read_manifest
+    from repro.serving.artifacts import data_fingerprint
+
+    try:
+        manifest = read_manifest(args.path)
+        model = load_model(args.path)
+    except ArtifactError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    dataset = load_dataset(args.dataset, max_samples=args.max_samples,
+                           max_features=args.max_features)
+    X = StandardScaler().fit_transform(dataset.X)
+    recorded = manifest.get("data_fingerprint")
+    if recorded is not None:
+        match = data_fingerprint(X) == recorded
+        out.write(f"data fingerprint: "
+                  f"{'match' if match else 'MISMATCH (scoring anyway)'}\n")
+    scores = model.score_samples(X)
+    out.write(f"model     : {manifest['kind']} "
+              f"(saved by repro {manifest.get('repro_version')})\n")
+    out.write(f"dataset   : {dataset.name} "
+              f"(n={dataset.n_samples}, d={dataset.n_features})\n")
+    out.write(f"scores    : AUCROC={auc_roc(dataset.y, scores):.4f}  "
+              f"AP={average_precision(dataset.y, scores):.4f}\n")
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.serving import ArtifactError, ModelStore, serve
+
+    try:
+        store = ModelStore(args.path)
+        ids = store.ids()
+    except ArtifactError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    if not ids:
+        out.write(f"error: no model artifacts under {args.path}\n")
+        return 2
+
+    def ready(server):
+        host, port = server.server_address[:2]
+        out.write(f"serving {len(ids)} model(s) at http://{host}:{port}\n")
+        for model_id in ids:
+            out.write(f"  {model_id}\n")
+        out.write("endpoints: GET /healthz  GET /models  POST /score\n")
+        if hasattr(out, "flush"):
+            out.flush()
+
+    try:
+        serve(store, host=args.host, port=args.port, ready=ready,
+              cache_size=args.cache_size,
+              micro_batch=not args.no_micro_batch)
+    except OSError as exc:
+        # e.g. port already in use, privileged port, bad host address.
+        out.write(f"error: cannot bind {args.host}:{args.port} ({exc})\n")
+        return 2
     return 0
 
 
@@ -197,6 +331,9 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "variance": _cmd_variance,
     "export": _cmd_export,
+    "save": _cmd_save,
+    "load-score": _cmd_load_score,
+    "serve": _cmd_serve,
 }
 
 

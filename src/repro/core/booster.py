@@ -196,6 +196,43 @@ class UADBooster:
         check_fitted(self, "scores_")
         return np.clip(self._ensemble.predict(X), 0.0, 1.0)
 
+    # -- persistence ------------------------------------------------------
+    def get_state(self) -> dict:
+        """Full fitted state for :mod:`repro.serving.artifacts`.
+
+        The fold ensemble (networks, optimizer moments, rng) is captured
+        through its own ``get_state``, so a restored booster scores new
+        data bit-identically to the instance that was saved.
+        """
+        return {
+            "config": {
+                "n_iterations": self.n_iterations,
+                "n_folds": self.n_folds,
+                "hidden": self.hidden,
+                "n_layers": self.n_layers,
+                "epochs_per_iteration": self.epochs_per_iteration,
+                "batch_size": self.batch_size,
+                "lr": self.lr,
+                "engine": self.engine,
+                "dtype": str(self.dtype),
+                "record_history": self.record_history,
+                "random_state": self.random_state,
+            },
+            "scores": self.scores_,
+            "pseudo_labels": self.pseudo_labels_,
+            "history": self.history_,
+            "ensemble": self._ensemble,
+        }
+
+    def set_state(self, state: dict) -> "UADBooster":
+        """Restore a booster from :meth:`get_state` output."""
+        self.__init__(**state["config"])
+        self.scores_ = state["scores"]
+        self.pseudo_labels_ = state["pseudo_labels"]
+        self.history_ = state["history"]
+        self._ensemble = state["ensemble"]
+        return self
+
     def predict(self, X, threshold: float = 0.5) -> np.ndarray:
         """Binary labels (1 = anomaly) at ``threshold``."""
         return (self.score_samples(X) > threshold).astype(np.int64)

@@ -45,6 +45,23 @@ __all__ = ["FoldEnsemble", "ENGINES"]
 ENGINES = ("batched", "sequential")
 
 
+def _array_fingerprint(X):
+    """Cheap content fingerprint guarding the standardised-design cache.
+
+    Shape, dtype, the first/last elements, and the element sum: one
+    read-only pass, far cheaper than re-validating and re-scaling, yet it
+    catches in-place mutations of the cached array (any edit that leaves
+    the sum *and* both end elements bit-identical still slips through —
+    the documented limit of this guard).  Non-ndarray inputs return
+    ``None`` and are never served from the cache.
+    """
+    if not isinstance(X, np.ndarray) or X.size == 0:
+        return None
+    flat = X.flat
+    return (X.shape, X.dtype.str, float(flat[0]), float(flat[X.size - 1]),
+            float(X.sum()))
+
+
 class FoldEnsemble:
     """An ensemble of identical MLPs trained on complementary folds.
 
@@ -90,10 +107,12 @@ class FoldEnsemble:
     Notes
     -----
     The ensemble caches the standardised design matrix for the most recent
-    input, keyed on object identity: repeated ``train_round``/``predict``
-    calls with the *same array object* (the UADB iteration loop) skip the
-    per-call validation + re-scaling of ``X``.  Mutating that array in
-    place between calls would go unnoticed — pass a fresh array instead.
+    input, keyed on object identity plus a cheap content fingerprint:
+    repeated ``train_round``/``predict`` calls with the *same array object*
+    (the UADB iteration loop) skip the per-call validation + re-scaling of
+    ``X``, while in-place mutations of that array are detected through the
+    fingerprint (shape/dtype, end elements, and element sum) and refresh
+    the cache.
     """
 
     def __init__(self, n_folds: int = 3, hidden: int = 128,
@@ -143,6 +162,7 @@ class FoldEnsemble:
         self._batched_net = None
         self._batched_opt = None
         self._cache_key = None
+        self._cache_fp = None
         self._cache_Z = None
 
     @property
@@ -188,15 +208,25 @@ class FoldEnsemble:
                 for net in self._networks
             ]
         self._cache_key = X
+        self._cache_fp = _array_fingerprint(X)
         self._cache_Z = self._scaler.transform(arr).astype(self.dtype)
         return self
 
     def _standardized(self, X) -> np.ndarray:
-        """Validated + standardised ``X``, cached by object identity."""
-        if X is self._cache_key and self._cache_Z is not None:
+        """Validated + standardised ``X``, cached by identity + fingerprint.
+
+        Identity alone is unsafe: a caller that mutates the cached array in
+        place would silently receive the stale standardised matrix.  The
+        cheap content fingerprint (shape/dtype + end elements + sum)
+        invalidates the cache on any such mutation it can observe.
+        """
+        if (X is self._cache_key and self._cache_Z is not None
+                and self._cache_fp is not None
+                and self._cache_fp == _array_fingerprint(X)):
             return self._cache_Z
         Z = self._scaler.transform(check_array(X)).astype(self.dtype)
         self._cache_key = X
+        self._cache_fp = _array_fingerprint(X)
         self._cache_Z = Z
         return Z
 
@@ -348,3 +378,79 @@ class FoldEnsemble:
         for net in self._networks:
             net.release_caches()
         return scores
+
+    # -- persistence ------------------------------------------------------
+    def get_state(self) -> dict:
+        """Full training state for :mod:`repro.serving.artifacts`.
+
+        Captures the constructor configuration, the fold networks (weights
+        only — under the batched engine these are views into the stacked
+        tensors, which the codec copies out), the optimizer moment state of
+        whichever engine is active, the fold split, the feature scaler, and
+        the shared random stream, so a restored ensemble both *scores*
+        bit-identically and *continues training* bit-identically.
+        """
+        return {
+            "config": {
+                "n_folds": self.n_folds,
+                "hidden": self.hidden,
+                "n_layers": self.n_layers,
+                "epochs": self.epochs,
+                "batch_size": self.batch_size,
+                "lr": self.lr,
+                "min_steps_per_round": self.min_steps_per_round,
+                "first_round_steps": self.first_round_steps,
+                "loss": self.loss,
+                "engine": self.engine,
+                "dtype": str(self.dtype),
+                "random_state": self.random_state,
+            },
+            "rounds_done": self._rounds_done,
+            "train_indices": self._train_indices,
+            "scaler": self._scaler,
+            "rng": self._rng,
+            "networks": self._networks,
+            "optimizers": (None if self._optimizers is None
+                           else [opt.get_state()
+                                 for opt in self._optimizers]),
+            "batched_opt": (None if self._batched_opt is None
+                            else self._batched_opt.get_state()),
+        }
+
+    def set_state(self, state: dict) -> "FoldEnsemble":
+        """Restore an ensemble from :meth:`get_state` output.
+
+        Re-validates the configuration through ``__init__``, then rebuilds
+        the engine-specific machinery: under the batched engine the fold
+        networks are re-stacked into fresh fused buffers and re-linked, and
+        the stacked optimizer's moments are copied back in.
+        """
+        self.__init__(**state["config"])
+        self._rounds_done = int(state["rounds_done"])
+        self._train_indices = state["train_indices"]
+        self._scaler = state["scaler"]
+        self._rng = state["rng"]
+        self._networks = state["networks"]
+        if self._networks is None:
+            return self
+        if self.engine == "batched":
+            self._batched_net = stack_networks(self._networks)
+            link_networks(self._batched_net, self._networks)
+            self._batched_opt = BatchedAdam(
+                self._batched_net.params, self._batched_net.grads,
+                n_models=len(self._networks), lr=self.lr,
+                flat_params=self._batched_net.flat_params,
+                flat_grads=self._batched_net.flat_grads,
+            )
+            if state["batched_opt"] is not None:
+                self._batched_opt.set_state(state["batched_opt"])
+        else:
+            self._optimizers = [
+                Adam(net.params, net.grads, lr=self.lr)
+                for net in self._networks
+            ]
+            if state["optimizers"] is not None:
+                for opt, opt_state in zip(self._optimizers,
+                                          state["optimizers"]):
+                    opt.set_state(opt_state)
+        return self

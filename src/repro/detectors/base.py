@@ -116,5 +116,21 @@ class BaseDetector:
         self.fit(X)
         return (self.decision_scores_ > self.threshold_).astype(np.int64)
 
+    # -- persistence ------------------------------------------------------
+    def get_state(self) -> dict:
+        """Full instance state for :mod:`repro.serving.artifacts`.
+
+        The default snapshot is the instance ``__dict__``; nested helper
+        objects (trees, mixtures, networks, member detectors, ...) are
+        encoded recursively by the serving codec.  Subclasses with
+        non-serialisable state (e.g. user callables) must override.
+        """
+        return dict(vars(self))
+
+    def set_state(self, state: dict) -> "BaseDetector":
+        """Restore a detector from :meth:`get_state` output."""
+        self.__dict__.update(state)
+        return self
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(contamination={self.contamination})"

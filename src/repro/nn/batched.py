@@ -299,6 +299,45 @@ class BatchedAdam:
         # match the sequential optimizer bit-for-bit.
         self._t = [0] * n_models
 
+    def get_state(self) -> dict:
+        """Hyper-parameters, per-model timesteps, and moment buffers."""
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "t": list(self._t),
+            "m": self._m,
+            "v": self._v,
+        }
+
+    def set_state(self, state: dict) -> "BatchedAdam":
+        """Restore moment state into an optimizer bound to fresh params.
+
+        Moments are copied *into* the existing buffers (which for fused
+        storage are views of ``_m_flat``/``_v_flat``), so the flat-path
+        and per-parameter views stay consistent.
+        """
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        t = [int(x) for x in state["t"]]
+        if len(t) != self.n_models:
+            raise ValueError(
+                f"state has {len(t)} timesteps for {self.n_models} models"
+            )
+        self._t = t
+        if len(state["m"]) != len(self._m):
+            raise ValueError(
+                f"state has {len(state['m'])} moment arrays, optimizer "
+                f"has {len(self._m)} parameters"
+            )
+        for m, v, ms, vs in zip(self._m, self._v, state["m"], state["v"]):
+            m[...] = ms
+            v[...] = vs
+        return self
+
     def step(self, active=None) -> None:
         if active is None:
             live = list(range(self.n_models))

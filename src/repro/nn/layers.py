@@ -88,6 +88,36 @@ class Dense:
     def grads(self) -> list:
         return [self.dW] if self.b is None else [self.dW, self.db]
 
+    def get_state(self) -> dict:
+        """Persistable layer state (weights, not gradients or caches)."""
+        return {
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "W": self.W,
+            "b": self.b,
+        }
+
+    def set_state(self, state: dict) -> "Dense":
+        """Restore a layer from :meth:`get_state` output.
+
+        Gradient buffers are reallocated to match the restored weights, so
+        call this before constructing optimizers over :attr:`grads`.
+        """
+        self.in_features = int(state["in_features"])
+        self.out_features = int(state["out_features"])
+        self.W = np.asarray(state["W"])
+        if self.W.shape != (self.in_features, self.out_features):
+            raise ValueError(
+                f"W shape {self.W.shape} does not match "
+                f"({self.in_features}, {self.out_features})"
+            )
+        b = state["b"]
+        self.b = None if b is None else np.asarray(b)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b) if self.b is not None else None
+        self._x = None
+        return self
+
     def __repr__(self) -> str:
         return (
             f"Dense({self.in_features}, {self.out_features}, "

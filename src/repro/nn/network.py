@@ -70,6 +70,23 @@ class Sequential:
                     setattr(layer, attr, None)
         return self
 
+    def get_state(self) -> dict:
+        """Persistable network state: the layer list itself.
+
+        Layers are encoded recursively by the :mod:`repro.serving.state`
+        codec (Dense via its own ``get_state``, activations by type), so
+        the architecture round-trips along with the weights.
+        """
+        return {"layers": list(self.layers)}
+
+    def set_state(self, state: dict) -> "Sequential":
+        """Restore a network from :meth:`get_state` output."""
+        layers = list(state["layers"])
+        if not layers:
+            raise ValueError("Sequential state must contain layers")
+        self.layers = layers
+        return self
+
     def get_weights(self) -> list:
         """Copies of all parameters (for checkpointing)."""
         return [p.copy() for p in self.params]

@@ -59,6 +59,40 @@ class Adam:
         self._v = [np.zeros_like(p) for p in params]
         self._t = 0
 
+    def get_state(self) -> dict:
+        """Hyper-parameters plus moment state (not the param bindings)."""
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "t": self._t,
+            "m": self._m,
+            "v": self._v,
+        }
+
+    def set_state(self, state: dict) -> "Adam":
+        """Restore moment state into an optimizer already bound to params.
+
+        The optimizer must have been constructed over the same parameter
+        list (same order and shapes) that produced the state; moments are
+        copied into the existing buffers so any aliasing is preserved.
+        """
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self._t = int(state["t"])
+        if len(state["m"]) != len(self._m):
+            raise ValueError(
+                f"state has {len(state['m'])} moment arrays, optimizer "
+                f"has {len(self._m)} parameters"
+            )
+        for m, v, ms, vs in zip(self._m, self._v, state["m"], state["v"]):
+            m[...] = ms
+            v[...] = vs
+        return self
+
     def step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2

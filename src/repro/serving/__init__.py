@@ -1,0 +1,52 @@
+"""repro.serving — model persistence and an in-process scoring service.
+
+A fitted :class:`~repro.core.booster.UADBooster` is the paper's actual
+deliverable — a reusable improved detector — yet without persistence every
+score costs a full re-fit.  This package makes fitted models first-class
+on-disk objects and serves them:
+
+* :mod:`repro.serving.state` — a typed codec that encodes the state of any
+  registered model class (boosters, fold ensembles, all registry
+  detectors, the nn substrate) into a JSON-able tree plus a flat dict of
+  numpy arrays, and decodes it back bit-identically.
+* :mod:`repro.serving.artifacts` — the versioned on-disk format: one
+  directory per model holding ``manifest.json`` (format version,
+  ``repro.__version__``, model config, data fingerprint) and
+  ``payload.npz`` (the weight/state arrays), with
+  :func:`~repro.serving.artifacts.save_model` /
+  :func:`~repro.serving.artifacts.load_model` and a directory-of-models
+  :class:`~repro.serving.artifacts.ModelStore`.
+* :mod:`repro.serving.service` — :class:`~repro.serving.service.ScoringService`,
+  an LRU cache of loaded models plus a micro-batching queue that coalesces
+  concurrent ``score(model_id, X)`` calls into one batched predict.
+* :mod:`repro.serving.server` — a stdlib-only threaded JSON HTTP API
+  (``/models``, ``/score``, ``/healthz``) over a model store, wired to the
+  ``repro serve`` CLI command.
+
+End-to-end::
+
+    repro boost IForest cardio --save model/      # persist the booster
+    repro serve model/ --port 8000                # serve it
+    curl -d '{"X": [[0.1, 0.2, ...]]}' http://127.0.0.1:8000/score
+"""
+
+from repro.serving.artifacts import (
+    ArtifactError,
+    ModelStore,
+    load_model,
+    read_manifest,
+    save_model,
+)
+from repro.serving.server import build_server, serve
+from repro.serving.service import ScoringService
+
+__all__ = [
+    "ArtifactError",
+    "ModelStore",
+    "ScoringService",
+    "build_server",
+    "load_model",
+    "read_manifest",
+    "save_model",
+    "serve",
+]

@@ -1,0 +1,212 @@
+"""Stdlib-only JSON HTTP API over a :class:`ScoringService`.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: ``{"status": "ok", "models": [...]}``.
+``GET /models``
+    Manifest summaries of every model in the store.
+``POST /score``
+    Body ``{"model_id": "...", "X": [[...], ...]}`` -> ``{"model_id",
+    "n", "scores"}``.  ``model_id`` may be omitted when the store serves a
+    single model.
+
+The server is ``http.server.ThreadingHTTPServer`` — one thread per
+connection — so concurrent ``/score`` requests land in the service's
+micro-batching queue together and are coalesced into stacked predict
+calls.  No third-party web framework is required, keeping the serving
+stack importable anywhere the library is.
+
+Started from the CLI as ``repro serve <store> --port 8000``; in code, use
+:func:`build_server` (returns the unstarted server for tests / embedding)
+or :func:`serve` (blocks).
+"""
+
+from __future__ import annotations
+
+import json
+import weakref
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+import repro
+from repro.serving.artifacts import ArtifactError
+from repro.serving.service import ScoringService
+
+__all__ = ["build_server", "serve", "shutdown_all"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+# Live servers, so tests and signal handlers can stop a blocking serve().
+_RUNNING: "weakref.WeakSet" = weakref.WeakSet()
+
+
+class _ServingHandler(BaseHTTPRequestHandler):
+    server_version = f"repro-serving/{repro.__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # Route stderr chatter through the server's quiet flag.
+    def log_message(self, fmt, *args):
+        if not getattr(self.server, "quiet", True):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    @property
+    def service(self) -> ScoringService:
+        return self.server.service
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "version": repro.__version__,
+                "models": self.service.models(),
+            })
+        elif self.path == "/models":
+            models = []
+            for model_id in self.service.models():
+                try:
+                    manifest = self.service.store.manifest(model_id)
+                except ArtifactError as exc:
+                    models.append({"id": model_id, "error": str(exc)})
+                    continue
+                models.append({
+                    "id": model_id,
+                    "kind": manifest.get("kind"),
+                    "repro_version": manifest.get("repro_version"),
+                    "format_version": manifest.get("format_version"),
+                    "config": manifest.get("config", {}),
+                    "data_fingerprint": manifest.get("data_fingerprint"),
+                })
+            self._send_json(200, {"models": models})
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        if self.path != "/score":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            # The body stays unread on this path; under HTTP/1.1
+            # keep-alive those bytes would be parsed as the next request
+            # line, so the connection must not be reused.
+            self.close_connection = True
+            self._send_error_json(400, "missing or oversized request body")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return
+        if not isinstance(payload, dict) or "X" not in payload:
+            self._send_error_json(400, 'body must be {"model_id"?, "X"}')
+            return
+        model_id = payload.get("model_id")
+        if model_id is None:
+            ids = self.service.models()
+            if len(ids) != 1:
+                self._send_error_json(
+                    400, f"model_id is required; available: {ids}"
+                )
+                return
+            model_id = ids[0]
+        try:
+            X = np.asarray(payload["X"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            self._send_error_json(400, f"X is not numeric: {exc}")
+            return
+        try:
+            scores = self.service.score(model_id, X)
+        except KeyError as exc:
+            self._send_error_json(404, str(exc.args[0] if exc.args else exc))
+            return
+        except (ValueError, TypeError, RuntimeError, ArtifactError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(200, {
+            "model_id": model_id,
+            "n": int(scores.shape[0]),
+            "scores": [float(s) for s in scores],
+        })
+
+
+def build_server(store, host: str = "127.0.0.1", port: int = 8000,
+                 *, quiet: bool = True,
+                 **service_kwargs) -> ThreadingHTTPServer:
+    """A ready-to-start server over ``store`` (path or ``ModelStore``).
+
+    ``port=0`` binds an ephemeral port — read the real one from
+    ``server.server_address[1]``.  The attached service is available as
+    ``server.service`` and is closed by ``server.server_close()``.
+    """
+    # Bind the socket before starting the service: a bind failure
+    # (port in use, bad host) must not leak a running scorer thread.
+    server = ThreadingHTTPServer((host, port), _ServingHandler)
+    try:
+        service = ScoringService(store, **service_kwargs)
+    except BaseException:
+        server.server_close()
+        raise
+    server.daemon_threads = True
+    server.service = service
+    server.quiet = quiet
+
+    original_close = server.server_close
+
+    def close_all():
+        try:
+            original_close()
+        finally:
+            service.close()
+
+    server.server_close = close_all
+    return server
+
+
+def serve(store, host: str = "127.0.0.1", port: int = 8000, *,
+          ready=None, quiet: bool = True, **service_kwargs) -> None:
+    """Serve ``store`` until interrupted (or :func:`shutdown_all`).
+
+    ``ready(server)`` is invoked after the socket is bound and before the
+    request loop starts — the hook the CLI uses to print the bound
+    address, and tests use to capture the server handle.
+    """
+    server = build_server(store, host, port, quiet=quiet, **service_kwargs)
+    _RUNNING.add(server)
+    try:
+        if ready is not None:
+            ready(server)
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        _RUNNING.discard(server)
+        server.server_close()
+
+
+def shutdown_all() -> int:
+    """Stop every server currently blocked in :func:`serve`.
+
+    Returns the number of servers signalled.  Primarily an operational /
+    test hook: ``serve`` blocks its calling thread, so another thread
+    needs a handle-free way to end it.
+    """
+    servers = list(_RUNNING)
+    for server in servers:
+        server.shutdown()
+    return len(servers)

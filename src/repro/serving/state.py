@@ -1,0 +1,203 @@
+"""Typed state codec behind the model artifact format.
+
+:func:`encode` turns the state of a registered model object into a pure
+JSON tree plus a flat ``{name: ndarray}`` payload dict (arrays are hoisted
+out of the tree and referenced by name, so they can be stored losslessly
+in one ``.npz`` archive).  :func:`decode` inverts it exactly.
+
+The codec understands JSON primitives, lists, tuples, sets, string-keyed
+dicts, numpy arrays / scalars / dtypes, ``numpy.random.Generator`` streams
+(via bit-generator state, so a restored model *continues training* on the
+same stream), and instances of classes in :data:`STATEFUL_CLASSES`.
+
+Object encoding is hook-based: a registered class may define
+``get_state() -> dict`` / ``set_state(dict)`` (the uniform persistence
+hooks on :class:`~repro.detectors.base.BaseDetector`,
+:class:`~repro.core.ensemble.FoldEnsemble`,
+:class:`~repro.nn.network.Sequential`, ...); classes without hooks fall
+back to an ``__dict__``/``__slots__`` snapshot with transient per-batch
+caches (``_x``/``_mask``/``_out``/``_grad``) nulled out.
+
+Only registered classes round-trip — encoding anything else raises
+``TypeError`` instead of silently pickling arbitrary objects, which keeps
+the artifact format auditable and safe to load (``allow_pickle`` stays
+off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["STATEFUL_CLASSES", "register_stateful", "encode", "decode"]
+
+# Attributes that cache per-batch tensors between forward/backward calls;
+# they are meaningless outside a training step and are persisted as None.
+_TRANSIENT_ATTRS = frozenset({"_x", "_mask", "_out", "_grad"})
+
+# name -> class for every type the codec may instantiate on decode.
+STATEFUL_CLASSES: dict = {}
+_CLASS_NAMES: dict = {}
+
+
+def register_stateful(cls, name: str | None = None):
+    """Register ``cls`` so the codec can encode/decode its instances."""
+    key = name or cls.__name__
+    existing = STATEFUL_CLASSES.get(key)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"stateful name {key!r} already registered")
+    STATEFUL_CLASSES[key] = cls
+    _CLASS_NAMES[cls] = key
+    return cls
+
+
+def _all_slots(cls) -> list:
+    slots = []
+    for klass in type.mro(cls):
+        slots.extend(getattr(klass, "__slots__", ()))
+    return slots
+
+
+def _default_state(obj) -> dict:
+    """Snapshot of ``__dict__``/``__slots__`` with caches nulled out."""
+    if hasattr(obj, "__dict__"):
+        items = vars(obj).items()
+    else:
+        items = ((s, getattr(obj, s)) for s in _all_slots(type(obj)))
+    return {k: (None if k in _TRANSIENT_ATTRS else v) for k, v in items}
+
+
+def _default_restore(obj, state: dict) -> None:
+    for key, value in state.items():
+        setattr(obj, key, value)
+
+
+def encode(value, arrays: dict):
+    """Encode ``value`` into a JSON tree, hoisting arrays into ``arrays``."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    # numpy scalars before int/float: np.float64 subclasses float, and the
+    # dtype must survive the round trip.
+    if isinstance(value, np.generic):
+        return {"__npscalar__": [value.dtype.str, value.item()]}
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        ref = f"a{len(arrays)}"
+        arrays[ref] = value
+        return {"__ndarray__": ref}
+    if isinstance(value, np.dtype):
+        return {"__dtype__": value.str}
+    if isinstance(value, list):
+        return [encode(item, arrays) for item in value]
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode(item, arrays) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        return {"__set__": [encode(item, arrays) for item in items]}
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"cannot encode dict with non-string key {key!r}"
+                )
+        return {"__map__": {k: encode(v, arrays)
+                            for k, v in value.items()}}
+    if isinstance(value, np.random.Generator):
+        bit_gen = value.bit_generator
+        return {"__rng__": {"name": type(bit_gen).__name__,
+                            "state": encode(bit_gen.state, arrays)}}
+    name = _CLASS_NAMES.get(type(value))
+    if name is not None:
+        get_state = getattr(value, "get_state", None)
+        state = get_state() if callable(get_state) else _default_state(value)
+        return {"__object__": name, "state": encode(state, arrays)}
+    raise TypeError(
+        f"cannot encode object of type {type(value).__name__}; register it "
+        f"with repro.serving.state.register_stateful"
+    )
+
+
+def decode(tree, arrays: dict):
+    """Invert :func:`encode` given the payload ``arrays``."""
+    if tree is None or isinstance(tree, (bool, int, float, str)):
+        return tree
+    if isinstance(tree, list):
+        return [decode(item, arrays) for item in tree]
+    if not isinstance(tree, dict):
+        raise TypeError(f"malformed state tree node: {tree!r}")
+    if "__ndarray__" in tree:
+        ref = tree["__ndarray__"]
+        if ref not in arrays:
+            raise KeyError(f"payload is missing array {ref!r}")
+        return arrays[ref]
+    if "__npscalar__" in tree:
+        dtype_str, item = tree["__npscalar__"]
+        return np.dtype(dtype_str).type(item)
+    if "__dtype__" in tree:
+        return np.dtype(tree["__dtype__"])
+    if "__tuple__" in tree:
+        return tuple(decode(item, arrays) for item in tree["__tuple__"])
+    if "__set__" in tree:
+        return set(decode(item, arrays) for item in tree["__set__"])
+    if "__map__" in tree:
+        return {k: decode(v, arrays) for k, v in tree["__map__"].items()}
+    if "__rng__" in tree:
+        info = tree["__rng__"]
+        bit_gen_cls = getattr(np.random, info["name"], None)
+        if bit_gen_cls is None:
+            raise ValueError(f"unknown bit generator {info['name']!r}")
+        bit_gen = bit_gen_cls()
+        bit_gen.state = decode(info["state"], arrays)
+        return np.random.Generator(bit_gen)
+    if "__object__" in tree:
+        name = tree["__object__"]
+        cls = STATEFUL_CLASSES.get(name)
+        if cls is None:
+            raise ValueError(
+                f"state references unregistered class {name!r}; the "
+                f"artifact may come from a newer repro version"
+            )
+        obj = cls.__new__(cls)
+        state = decode(tree["state"], arrays)
+        set_state = getattr(obj, "set_state", None)
+        if callable(set_state):
+            set_state(state)
+        else:
+            _default_restore(obj, state)
+        return obj
+    raise TypeError(f"malformed state tree node with keys {list(tree)}")
+
+
+def _register_builtin_classes() -> None:
+    """Register every stateful class shipped with repro.
+
+    Detector classes come from the registry (so new detectors only need a
+    registry entry); the rest are the helper objects that appear inside
+    detector / ensemble state.
+    """
+    from repro.core.booster import BoosterHistory, UADBooster
+    from repro.core.ensemble import FoldEnsemble
+    from repro.data.preprocessing import MinMaxScaler, StandardScaler
+    from repro.detectors.gmm import GaussianMixture
+    from repro.detectors.histograms import Histogram1D
+    from repro.detectors.iforest import _IsolationTree
+    from repro.detectors.kmeans import KMeans
+    from repro.detectors.registry import DETECTOR_CLASSES
+    from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+    from repro.nn.layers import Dense
+    from repro.nn.network import Sequential
+    from repro.nn.training import TrainingHistory
+
+    for cls in DETECTOR_CLASSES.values():
+        register_stateful(cls)
+    for cls in (UADBooster, BoosterHistory, FoldEnsemble, StandardScaler,
+                MinMaxScaler, GaussianMixture, Histogram1D, _IsolationTree,
+                KMeans, Sequential, Dense, Identity, ReLU, LeakyReLU,
+                Sigmoid, Tanh, TrainingHistory):
+        register_stateful(cls)
+
+
+_register_builtin_classes()

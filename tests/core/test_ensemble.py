@@ -113,3 +113,48 @@ class TestPredict:
             return ens.predict(X)
 
         np.testing.assert_allclose(run(), run())
+
+
+class TestStandardizedCache:
+    """The design-matrix cache must not serve stale data after in-place
+    mutation of the cached array (regression: the key was identity-only)."""
+
+    def _trained(self, X):
+        ens = FoldEnsemble(**FAST_ENSEMBLE, random_state=0).initialize(X)
+        ens.train_round(X, np.random.default_rng(1).uniform(size=X.shape[0]))
+        return ens
+
+    def test_in_place_mutation_invalidates_cache(self, small_dataset):
+        X, _ = small_dataset
+        ens = self._trained(X)
+        work = X.copy()
+        stale = ens.predict(work)          # populates the cache for `work`
+        work *= 2.0                        # in-place: same object identity
+        refreshed = ens.predict(work)
+        fresh = ens.predict(work.copy())   # uncached reference
+        np.testing.assert_array_equal(refreshed, fresh)
+        assert not np.array_equal(refreshed, stale)
+
+    def test_single_element_sum_visible_mutation_detected(self,
+                                                          small_dataset):
+        X, _ = small_dataset
+        ens = self._trained(X)
+        work = X.copy()
+        ens.predict(work)
+        work[3, 1] += 100.0
+        np.testing.assert_array_equal(ens.predict(work),
+                                      ens.predict(work.copy()))
+
+    def test_cache_still_hits_for_untouched_array(self, small_dataset):
+        X, _ = small_dataset
+        ens = self._trained(X)
+        work = X.copy()
+        ens.predict(work)
+        cached = ens._cache_Z
+        ens.predict(work)
+        assert ens._cache_Z is cached      # identity: no recompute
+
+    def test_repeated_predictions_stay_equal(self, small_dataset):
+        X, _ = small_dataset
+        ens = self._trained(X)
+        np.testing.assert_array_equal(ens.predict(X), ens.predict(X))

@@ -1,0 +1,204 @@
+"""Tests for the JSON HTTP scoring server."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro
+from repro.detectors.registry import make_detector
+from repro.serving import build_server, save_model, serve
+from repro.serving.server import shutdown_all
+
+
+@pytest.fixture(scope="module")
+def store_root(small_dataset, tmp_path_factory):
+    X, _ = small_dataset
+    root = tmp_path_factory.mktemp("server-store")
+    for model_id, name in (("hbos", "HBOS"), ("iforest", "IForest")):
+        save_model(make_detector(name, random_state=0).fit(X),
+                   root / model_id, data=X)
+    return root
+
+
+@pytest.fixture(scope="module")
+def server(store_root):
+    server = build_server(store_root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+def request_json(server, path, payload=None):
+    port = server.server_address[1]
+    url = f"http://127.0.0.1:{port}{path}"
+    if payload is None:
+        response = urllib.request.urlopen(url, timeout=10)
+    else:
+        req = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        response = urllib.request.urlopen(req, timeout=10)
+    return response.status, json.load(response)
+
+
+def request_error(server, path, body: bytes):
+    port = server.server_address[1]
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=body,
+        headers={"Content-Type": "application/json"})
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(req, timeout=10)
+    return info.value.code, json.load(info.value)
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = request_json(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["version"] == repro.__version__
+        assert payload["models"] == ["hbos", "iforest"]
+
+    def test_models_listing(self, server):
+        status, payload = request_json(server, "/models")
+        assert status == 200
+        listed = {m["id"]: m for m in payload["models"]}
+        assert set(listed) == {"hbos", "iforest"}
+        assert listed["hbos"]["kind"] == "HBOS"
+        assert listed["hbos"]["repro_version"] == repro.__version__
+        assert listed["hbos"]["data_fingerprint"]["sha256"]
+
+    def test_score_matches_in_process(self, server, small_dataset,
+                                      store_root):
+        from repro.serving import load_model
+
+        X, _ = small_dataset
+        status, payload = request_json(
+            server, "/score", {"model_id": "hbos", "X": X[:20].tolist()})
+        assert status == 200
+        assert payload["model_id"] == "hbos"
+        assert payload["n"] == 20
+        expected = load_model(store_root / "hbos").score_samples(X[:20])
+        assert np.array_equal(np.array(payload["scores"]), expected)
+
+    def test_concurrent_scoring_is_consistent(self, server, small_dataset):
+        X, _ = small_dataset
+        results = {}
+
+        def hit(i):
+            _, payload = request_json(
+                server, "/score",
+                {"model_id": "iforest", "X": X[i:i + 5].tolist()})
+            results[i] = payload["scores"]
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 10
+        assert all(len(scores) == 5 for scores in results.values())
+
+
+class TestErrors:
+    def test_unknown_path(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            request_json(server, "/nope")
+        assert info.value.code == 404
+
+    def test_unknown_model(self, server):
+        code, payload = request_error(
+            server, "/score", json.dumps({"model_id": "ghost",
+                                          "X": [[0.0]]}).encode())
+        assert code == 404
+        assert "ghost" in payload["error"]
+
+    def test_model_id_required_with_multiple_models(self, server):
+        code, payload = request_error(
+            server, "/score", json.dumps({"X": [[0.0]]}).encode())
+        assert code == 400
+        assert "model_id" in payload["error"]
+
+    def test_invalid_json(self, server):
+        code, payload = request_error(server, "/score", b"{broken")
+        assert code == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_missing_x(self, server):
+        code, payload = request_error(server, "/score",
+                                      json.dumps({"a": 1}).encode())
+        assert code == 400
+
+    def test_non_numeric_x(self, server):
+        code, payload = request_error(
+            server, "/score",
+            json.dumps({"model_id": "hbos",
+                        "X": [["a", "b"]]}).encode())
+        assert code == 400
+
+    def test_wrong_feature_count(self, server):
+        code, payload = request_error(
+            server, "/score",
+            json.dumps({"model_id": "hbos", "X": [[0.0, 1.0]]}).encode())
+        assert code == 400
+        assert "features" in payload["error"]
+
+
+class TestSingleModelStore:
+    def test_model_id_defaults_for_single_artifact(self, small_dataset,
+                                                   tmp_path):
+        X, _ = small_dataset
+        path = save_model(make_detector("HBOS").fit(X), tmp_path / "solo")
+        server = build_server(path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, payload = request_json(server, "/score",
+                                           {"X": X[:3].tolist()})
+            assert status == 200
+            assert payload["model_id"] == "solo"
+            assert payload["n"] == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestServeLifecycle:
+    def test_serve_blocks_until_shutdown_all(self, store_root):
+        started = threading.Event()
+        handles = {}
+
+        def ready(server):
+            handles["server"] = server
+            started.set()
+
+        thread = threading.Thread(
+            target=serve, args=(store_root,),
+            kwargs={"port": 0, "ready": ready}, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10.0)
+        status, payload = request_json(handles["server"], "/healthz")
+        assert status == 200
+        assert shutdown_all() >= 1
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+
+class TestBindFailures:
+    def test_occupied_port_raises_and_leaks_no_service(self, store_root,
+                                                       server):
+        port = server.server_address[1]
+        active_before = threading.active_count()
+        with pytest.raises(OSError):
+            build_server(store_root, port=port)
+        # No scorer thread was started for the failed server.
+        assert threading.active_count() == active_before

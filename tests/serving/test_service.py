@@ -1,0 +1,207 @@
+"""Tests for the micro-batched scoring service."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.detectors.registry import make_detector
+from repro.serving import ModelStore, ScoringService, save_model
+from repro.serving.service import _score_fn
+
+
+@pytest.fixture(scope="module")
+def store(small_dataset, tmp_path_factory):
+    """Two fitted detectors saved into a multi-model store."""
+    X, _ = small_dataset
+    root = tmp_path_factory.mktemp("store")
+    for model_id, name in (("hbos", "HBOS"), ("iforest", "IForest")):
+        save_model(make_detector(name, random_state=0).fit(X),
+                   root / model_id, data=X)
+    return ModelStore(root)
+
+
+@pytest.fixture(scope="module")
+def X(small_dataset):
+    return small_dataset[0]
+
+
+class TestScoring:
+    def test_matches_direct_model_call(self, store, X):
+        with ScoringService(store) as service:
+            scores = service.score("hbos", X)
+            expected = store.load("hbos").score_samples(X)
+            assert np.array_equal(scores, expected)
+
+    def test_single_row_and_1d_input(self, store, X):
+        with ScoringService(store) as service:
+            row_scores = service.score("hbos", X[0])
+            assert row_scores.shape == (1,)
+
+    def test_unknown_model_raises_in_caller(self, store, X):
+        with ScoringService(store) as service:
+            with pytest.raises(KeyError):
+                service.score("ghost", X)
+
+    def test_bad_feature_count_raises_in_caller(self, store, X):
+        with ScoringService(store) as service:
+            with pytest.raises(ValueError):
+                service.score("hbos", np.zeros((3, X.shape[1] + 2)))
+
+    def test_empty_input_rejected(self, store):
+        with ScoringService(store) as service:
+            with pytest.raises(ValueError):
+                service.score("hbos", np.zeros((0, 4)))
+
+    def test_closed_service_rejects(self, store, X):
+        service = ScoringService(store)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.score("hbos", X)
+
+    def test_naive_mode_scores_identically(self, store, X):
+        with ScoringService(store, micro_batch=False) as service:
+            expected = store.load("hbos").score_samples(X)
+            assert np.array_equal(service.score("hbos", X), expected)
+            assert service.stats()["batches"] == 1
+
+
+class TestConcurrency:
+    def test_concurrent_requests_correct(self, store, X):
+        expected = {model_id: store.load(model_id).score_samples(X)
+                    for model_id in ("hbos", "iforest")}
+        failures = []
+
+        def worker(model_id, lo, hi):
+            scores = service.score(model_id, X[lo:hi])
+            if not np.allclose(scores, expected[model_id][lo:hi],
+                               rtol=0, atol=1e-9):
+                failures.append((model_id, lo, hi))
+
+        with ScoringService(store) as service:
+            threads = []
+            for i in range(24):
+                model_id = "hbos" if i % 2 else "iforest"
+                lo = (7 * i) % (X.shape[0] - 10)
+                threads.append(threading.Thread(
+                    target=worker, args=(model_id, lo, lo + 9)))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        assert not failures
+        assert stats["requests"] == 24
+
+    def test_queued_requests_coalesce(self, store, X):
+        service = ScoringService(store)
+        try:
+            # Stall the scorer on its first batch so the rest of the burst
+            # queues up behind it and must be answered in coalesced calls.
+            original = service.get_model
+            release = threading.Event()
+
+            def slow_get_model(model_id):
+                release.wait(timeout=5.0)
+                return original(model_id)
+
+            service.get_model = slow_get_model
+            threads = [threading.Thread(
+                target=service.score, args=("hbos", X[i:i + 2]))
+                for i in range(12)]
+            for t in threads:
+                t.start()
+            time.sleep(0.2)  # let every request reach the queue
+            release.set()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        finally:
+            service.close()
+        assert stats["requests"] == 12
+        assert stats["batches"] < 12
+        assert stats["max_batch_requests"] > 1
+
+    def test_batched_scores_match_solo_scores(self, store, X):
+        """Coalescing must not change what a request gets back."""
+        with ScoringService(store) as service:
+            solo = service.score("hbos", X[:5])
+        service = ScoringService(store)
+        try:
+            original = service.get_model
+            release = threading.Event()
+
+            def slow_get_model(model_id):
+                release.wait(timeout=5.0)
+                return original(model_id)
+
+            service.get_model = slow_get_model
+            results = {}
+
+            def worker(key, lo, hi):
+                results[key] = service.score("hbos", X[lo:hi])
+
+            threads = [threading.Thread(target=worker, args=(i, i, i + 5))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            time.sleep(0.2)
+            release.set()
+            for t in threads:
+                t.join()
+        finally:
+            service.close()
+        assert np.allclose(results[0], solo, rtol=0, atol=1e-9)
+
+
+class TestModelCache:
+    def test_lru_eviction(self, store, X):
+        with ScoringService(store, cache_size=1) as service:
+            service.score("hbos", X[:3])
+            service.score("iforest", X[:3])
+            service.score("hbos", X[:3])
+            stats = service.stats()
+            assert len(service._models) == 1
+            assert stats["cache_misses"] == 3  # hbos evicted and reloaded
+
+    def test_cache_hits(self, store, X):
+        with ScoringService(store, cache_size=4) as service:
+            for _ in range(3):
+                service.score("hbos", X[:3])
+            stats = service.stats()
+            assert stats["cache_misses"] == 1
+            assert stats["cache_hits"] == 2
+
+    def test_models_lists_store_ids(self, store):
+        with ScoringService(store) as service:
+            assert service.models() == ["hbos", "iforest"]
+
+
+class TestScoreFn:
+    def test_prefers_score_samples(self, store):
+        model = store.load("hbos")
+        assert _score_fn(model) == model.score_samples
+
+    def test_rejects_unscorable(self):
+        with pytest.raises(TypeError):
+            _score_fn(object())
+
+    def test_invalid_params(self, store):
+        with pytest.raises(ValueError):
+            ScoringService(store, cache_size=0)
+        with pytest.raises(ValueError):
+            ScoringService(store, max_batch_rows=0)
+
+
+class TestRequestIsolation:
+    def test_nonfinite_request_rejected_before_coalescing(self, store, X):
+        """A NaN request must fail alone, never inside a shared batch."""
+        bad = X[:3].copy()
+        bad[1, 0] = np.nan
+        with ScoringService(store) as service:
+            with pytest.raises(ValueError, match="NaN"):
+                service.score("hbos", bad)
+            # The service stays healthy for everyone else.
+            assert np.array_equal(service.score("hbos", X[:3]),
+                                  store.load("hbos").score_samples(X[:3]))

@@ -1,0 +1,146 @@
+"""Tests for the serving state codec."""
+
+import numpy as np
+import pytest
+
+from repro.serving.state import (
+    STATEFUL_CLASSES,
+    decode,
+    encode,
+    register_stateful,
+)
+
+
+def roundtrip(value):
+    arrays = {}
+    tree = encode(value, arrays)
+    # The tree must be pure JSON: serialise it for real.
+    import json
+    tree = json.loads(json.dumps(tree))
+    return decode(tree, arrays)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -7, 2**80, 1.5, -0.0, "text", "",
+    ])
+    def test_identity(self, value):
+        assert roundtrip(value) == value
+
+    def test_numpy_scalars_keep_dtype(self):
+        for value in (np.float32(1.25), np.float64(-3.5), np.int64(9),
+                      np.int32(-2), np.bool_(True)):
+            back = roundtrip(value)
+            assert back == value
+            assert back.dtype == value.dtype
+
+    def test_dtype(self):
+        assert roundtrip(np.dtype("float32")) == np.dtype("float32")
+
+
+class TestContainers:
+    def test_nested_lists_and_tuples(self):
+        value = [1, (2.5, "x"), [(3,), ()]]
+        back = roundtrip(value)
+        assert back == value
+        assert isinstance(back[1], tuple)
+        assert isinstance(back[2][0], tuple)
+
+    def test_sets(self):
+        value = {3, 1, 2}
+        back = roundtrip(value)
+        assert back == value
+        assert isinstance(back, set)
+
+    def test_dicts(self):
+        value = {"a": [1, 2], "b": {"c": None}}
+        assert roundtrip(value) == value
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(TypeError):
+            encode({1: "x"}, {})
+
+
+class TestArrays:
+    def test_array_roundtrip_is_lossless(self):
+        arr = np.random.default_rng(0).normal(size=(5, 3)).astype(np.float32)
+        back = roundtrip(arr)
+        assert back.dtype == arr.dtype
+        assert np.array_equal(back, arr)
+
+    def test_arrays_are_hoisted_not_inlined(self):
+        arrays = {}
+        tree = encode([np.zeros(3), np.ones(2)], arrays)
+        assert len(arrays) == 2
+        assert tree == [{"__ndarray__": "a0"}, {"__ndarray__": "a1"}]
+
+    def test_missing_payload_array_raises(self):
+        with pytest.raises(KeyError):
+            decode({"__ndarray__": "a99"}, {})
+
+
+class TestRandomState:
+    def test_generator_roundtrip_continues_stream(self):
+        rng = np.random.default_rng(123)
+        rng.normal(size=10)  # advance the stream
+        clone = roundtrip(rng)
+        assert np.array_equal(rng.normal(size=5), clone.normal(size=5))
+
+    def test_unknown_bit_generator_rejected(self):
+        with pytest.raises(ValueError):
+            decode({"__rng__": {"name": "NoSuchBG", "state": {}}}, {})
+
+
+class TestObjects:
+    def test_unregistered_class_rejected(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError, match="register"):
+            encode(Mystery(), {})
+
+    def test_callable_state_rejected(self):
+        with pytest.raises(TypeError):
+            encode(lambda x: x, {})
+
+    def test_unknown_object_name_on_decode(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            decode({"__object__": "NoSuchClass", "state": None}, {})
+
+    def test_register_name_collision_rejected(self):
+        class A:
+            pass
+
+        class B:
+            pass
+
+        register_stateful(A, name="collision-test")
+        try:
+            register_stateful(A, name="collision-test")  # idempotent
+            with pytest.raises(ValueError):
+                register_stateful(B, name="collision-test")
+        finally:
+            STATEFUL_CLASSES.pop("collision-test", None)
+
+    def test_builtin_registry_covers_detectors(self):
+        from repro.detectors.registry import DETECTOR_CLASSES
+
+        for name, cls in DETECTOR_CLASSES.items():
+            assert STATEFUL_CLASSES.get(name) is cls
+
+    def test_transient_caches_dropped(self):
+        from repro.nn.activations import ReLU
+
+        relu = ReLU()
+        relu.forward(np.array([[1.0, -1.0]]))
+        assert relu._mask is not None
+        back = roundtrip(relu)
+        assert back._mask is None
+
+    def test_slots_object_roundtrip(self):
+        from repro.detectors.iforest import _IsolationTree
+
+        X = np.random.default_rng(0).normal(size=(32, 3))
+        tree = _IsolationTree(X, max_depth=4, rng=np.random.default_rng(1))
+        back = roundtrip(tree)
+        assert np.array_equal(back.path_lengths(X), tree.path_lengths(X))

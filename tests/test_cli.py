@@ -114,3 +114,130 @@ class TestExport:
         assert target.exists()
         header = target.read_text().splitlines()[0]
         assert header.endswith("label")
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        from repro import __version__
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestSaveAndLoadScore:
+    def test_save_then_load_score(self, tmp_path):
+        target = tmp_path / "hbos-glass"
+        code, text = run_cli("save", "HBOS", "glass", str(target),
+                             "--max-samples", "150", "--max-features", "6")
+        assert code == 0
+        assert (target / "manifest.json").exists()
+        assert (target / "payload.npz").exists()
+
+        code, text = run_cli("load-score", str(target), "glass",
+                             "--max-samples", "150", "--max-features", "6")
+        assert code == 0
+        assert "data fingerprint: match" in text
+        assert "HBOS" in text and "AUCROC" in text
+
+    def test_manifest_records_version(self, tmp_path):
+        from repro import __version__
+        from repro.serving import read_manifest
+
+        target = tmp_path / "m"
+        code, _ = run_cli("save", "HBOS", "glass", str(target),
+                          "--max-samples", "120", "--max-features", "6")
+        assert code == 0
+        assert read_manifest(target)["repro_version"] == __version__
+
+    def test_load_score_fingerprint_mismatch_warns(self, tmp_path):
+        target = tmp_path / "m"
+        run_cli("save", "HBOS", "glass", str(target),
+                "--max-samples", "150", "--max-features", "6")
+        # Score a different slice of the dataset than the model saw.
+        code, text = run_cli("load-score", str(target), "glass",
+                             "--max-samples", "140", "--max-features", "6")
+        assert code == 0
+        assert "MISMATCH" in text
+
+    def test_load_score_missing_artifact(self, tmp_path):
+        code, text = run_cli("load-score", str(tmp_path / "ghost"), "glass")
+        assert code == 2
+        assert "error:" in text
+
+
+class TestBoostSave:
+    def test_boost_save_roundtrip_scores_exactly(self, tmp_path):
+        import numpy as np
+
+        from repro.data.preprocessing import StandardScaler
+        from repro.data.registry import load_dataset
+        from repro.serving import load_model, read_manifest
+
+        target = tmp_path / "booster"
+        code, text = run_cli(
+            "boost", "HBOS", "glass", "--iterations", "2",
+            "--max-samples", "150", "--max-features", "6",
+            "--save", str(target))
+        assert code == 0
+        assert "saved" in text
+        manifest = read_manifest(target)
+        assert manifest["kind"] == "UADBooster"
+        assert manifest["extra"]["detector"] == "HBOS"
+
+        dataset = load_dataset("glass", max_samples=150, max_features=6)
+        X = StandardScaler().fit_transform(dataset.X)
+        booster = load_model(target)
+        # The persisted scores_ must equal a fresh scoring pass on X.
+        np.testing.assert_allclose(booster.score_samples(X),
+                                   np.clip(booster.scores_, 0, 1))
+
+
+class TestServe:
+    def test_serve_answers_health_and_score(self, tmp_path):
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        from repro.serving.server import shutdown_all
+
+        target = tmp_path / "m"
+        run_cli("save", "HBOS", "glass", str(target),
+                "--max-samples", "150", "--max-features", "6")
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", str(target), "--port", "0"],),
+            kwargs={"out": out}, daemon=True)
+        thread.start()
+        url = None
+        for _ in range(100):
+            text = out.getvalue()
+            if "http://" in text:
+                url = text.split("http://", 1)[1].split()[0]
+                break
+            time.sleep(0.05)
+        assert url, f"server never reported its address: {out.getvalue()!r}"
+        try:
+            response = urllib.request.urlopen(
+                f"http://{url}/healthz", timeout=10)
+            assert response.status == 200
+            body = json.dumps({"X": [[0.0] * 6]}).encode()
+            request = urllib.request.Request(
+                f"http://{url}/score", data=body,
+                headers={"Content-Type": "application/json"})
+            response = urllib.request.urlopen(request, timeout=10)
+            payload = json.load(response)
+            assert response.status == 200
+            assert payload["n"] == 1
+        finally:
+            shutdown_all()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_serve_missing_store(self, tmp_path):
+        code, text = run_cli("serve", str(tmp_path / "nothing"))
+        assert code == 2
+        assert "error:" in text
