@@ -4,11 +4,17 @@ Booster, ICDE 2023) with every substrate implemented from scratch.
 Public API highlights
 ---------------------
 * :class:`repro.core.UADBooster` — the booster (Algorithm 1).
-* :mod:`repro.detectors` — the 14 source UAD models the paper evaluates.
+* :mod:`repro.detectors` — the 14 paper source models + 6 extra baselines.
+* :mod:`repro.api` — the estimator protocol (``get_params`` /
+  ``set_params`` / ``clone``), JSON component specs
+  (:func:`~repro.api.to_spec` / :func:`~repro.api.build_spec`), and the
+  composable :class:`~repro.api.Pipeline`.
 * :mod:`repro.data` — synthetic anomaly-type generators and the 84-dataset
   benchmark registry.
 * :mod:`repro.metrics` — AUCROC / AP / Wilcoxon.
 * :mod:`repro.experiments` — harness + per-table/figure reproduction.
+* :mod:`repro.serving` — versioned model artifacts, micro-batched scoring
+  service, HTTP server.
 
 Quickstart
 ----------
@@ -21,20 +27,26 @@ Quickstart
 >>> booster.scores_  # boosted anomaly scores in [0, 1]
 """
 
+from repro.api import Pipeline, build_spec, clone, make_component, to_spec
 from repro.core import UADBooster
 from repro.data import Dataset, load_dataset, make_anomaly_dataset
 from repro.detectors import DETECTOR_NAMES, make_detector
 from repro.metrics import auc_roc, average_precision
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "UADBooster",
+    "Pipeline",
     "Dataset",
     "load_dataset",
     "make_anomaly_dataset",
     "DETECTOR_NAMES",
     "make_detector",
+    "make_component",
+    "build_spec",
+    "to_spec",
+    "clone",
     "auc_roc",
     "average_precision",
     "__version__",

@@ -1,0 +1,62 @@
+"""repro.api — the spec-driven estimator protocol and composable pipeline.
+
+One uniform surface for building, configuring, composing, sweeping,
+persisting, and serving models:
+
+* :class:`ParamsMixin` — ``get_params`` / ``set_params`` / ``clone`` and
+  a params-based ``__repr__``, introspected from ``__init__`` signatures;
+  adopted by every detector, the booster(s), the fold ensemble, and the
+  scalers.
+* :class:`Pipeline` — transformers + source detector + optional booster
+  behind the standard ``fit`` / ``decision_function`` / ``score_samples``
+  / ``predict`` contract; saves, loads, and serves as one artifact.
+* Specs — ``{"type": ..., "params": {...}}`` JSON documents:
+  :func:`to_spec` / :func:`build_spec` round-trip any registered
+  component (bit-identical scores for integer seeds),
+  :func:`canonical_spec` / :func:`spec_key` give stable cache keys, and
+  :func:`load_spec` reads spec files for the CLI's ``--spec``.
+* The component registry — one ``name -> class`` table behind specs and
+  factories; seeding is decided by signature introspection
+  (:func:`seeded_construct`), so new components need no bookkeeping.
+"""
+
+from repro.api.params import ParamsMixin, accepts_param, clone, param_names
+from repro.api.pipeline import Pipeline
+from repro.api.registry import (
+    COMPONENT_CLASSES,
+    component_class,
+    component_name,
+    make_component,
+    register_component,
+    seeded_construct,
+)
+from repro.api.spec import (
+    SpecError,
+    as_spec,
+    build_spec,
+    canonical_spec,
+    load_spec,
+    spec_key,
+    to_spec,
+)
+
+__all__ = [
+    "ParamsMixin",
+    "Pipeline",
+    "SpecError",
+    "COMPONENT_CLASSES",
+    "accepts_param",
+    "as_spec",
+    "build_spec",
+    "canonical_spec",
+    "clone",
+    "component_class",
+    "component_name",
+    "load_spec",
+    "make_component",
+    "param_names",
+    "register_component",
+    "seeded_construct",
+    "spec_key",
+    "to_spec",
+]

@@ -1,0 +1,196 @@
+"""The estimator protocol: uniform, introspected hyper-parameter access.
+
+Every configurable component in repro (detectors, boosters, the fold
+ensemble, scalers, pipelines) follows one convention: ``__init__`` takes
+only keyword-able hyper-parameters and stores each under an attribute of
+the same name.  :class:`ParamsMixin` turns that convention into a
+protocol — ``get_params`` / ``set_params`` / ``clone`` and a params-based
+``__repr__`` — by introspecting the ``__init__`` signature, so adopting
+the protocol is a mixin inheritance, not per-class boilerplate.
+
+``set_params`` re-runs ``__init__`` with the merged parameters, which
+re-validates every value exactly like direct construction and resets any
+fitted state (a reconfigured estimator must be refitted).  Nested
+parameters route through double underscores, sklearn-style:
+``pipeline.set_params(booster__n_iterations=5)``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+__all__ = ["ParamsMixin", "clone", "param_names", "accepts_param",
+           "init_defaults"]
+
+
+def param_names(cls) -> tuple:
+    """Hyper-parameter names of ``cls``, from its ``__init__`` signature.
+
+    ``self`` and variadic parameters are excluded; classes following the
+    repro convention have neither ``*args`` nor ``**kwargs``.
+    """
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):
+        return ()
+    return tuple(
+        p.name for p in signature.parameters.values()
+        if p.name != "self"
+        and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+    )
+
+
+def accepts_param(cls, name: str) -> bool:
+    """True if ``cls.__init__`` accepts a parameter called ``name``."""
+    return name in param_names(cls)
+
+
+def init_defaults(cls) -> dict:
+    """``{name: default}`` from ``cls.__init__``; required parameters map
+    to ``inspect.Parameter.empty``.
+
+    The single source for "is this value a default?" decisions — both the
+    params-based ``__repr__`` and :func:`repro.api.spec.to_spec` elide
+    default-valued parameters through it.
+    """
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):
+        return {}
+    return {p.name: p.default for p in signature.parameters.values()
+            if p.name != "self"}
+
+
+def _clone_value(value):
+    """Deep-clone estimators inside parameter values; pass the rest through.
+
+    Handles estimators nested in lists/tuples (e.g. a pipeline's
+    ``steps``).  Non-estimator values — numbers, strings, rng seeds,
+    callables — are shared, matching sklearn's ``clone`` semantics.
+    """
+    if isinstance(value, ParamsMixin):
+        return value.clone()
+    if isinstance(value, list):
+        return [_clone_value(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_value(item) for item in value)
+    return value
+
+
+def clone(estimator):
+    """A fresh unfitted copy of ``estimator`` with the same parameters."""
+    if not isinstance(estimator, ParamsMixin):
+        raise TypeError(
+            f"cannot clone {type(estimator).__name__}: it does not follow "
+            f"the repro estimator protocol (ParamsMixin)"
+        )
+    params = {key: _clone_value(value)
+              for key, value in estimator.get_params(deep=False).items()}
+    return type(estimator)(**params)
+
+
+def _values_equal(a, b) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+class ParamsMixin:
+    """Uniform parameter access for classes storing ``__init__`` args as
+    same-named attributes."""
+
+    @classmethod
+    def _param_names(cls) -> tuple:
+        return param_names(cls)
+
+    def _named_children(self) -> dict:
+        """Sub-estimators addressable via ``name__param`` routing.
+
+        By default, every parameter whose value is itself a
+        :class:`ParamsMixin`; :class:`~repro.api.pipeline.Pipeline`
+        overrides this to expose its named steps.
+        """
+        return {
+            key: value
+            for key, value in self.get_params(deep=False).items()
+            if isinstance(value, ParamsMixin)
+        }
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Hyper-parameters as a dict, in ``__init__`` signature order.
+
+        With ``deep=True``, nested estimators additionally contribute
+        flattened ``child__param`` entries.
+        """
+        params = {}
+        for name in self._param_names():
+            if not hasattr(self, name):
+                raise AttributeError(
+                    f"{type(self).__name__} breaks the estimator protocol: "
+                    f"__init__ parameter {name!r} is not stored as an "
+                    f"attribute of the same name"
+                )
+            params[name] = getattr(self, name)
+        if deep:
+            for child_name, child in self._named_children().items():
+                for sub_name, value in child.get_params(deep=True).items():
+                    params[f"{child_name}__{sub_name}"] = value
+        return params
+
+    def set_params(self, **params) -> "ParamsMixin":
+        """Reconfigure the estimator; returns ``self``.
+
+        Top-level parameters are merged into the current configuration and
+        ``__init__`` is re-run, so every value passes the same validation
+        as direct construction and fitted state is reset.
+        ``child__param`` keys route to the named sub-estimator's own
+        ``set_params``.
+        """
+        if not params:
+            return self
+        valid = self._param_names()
+        direct, nested = {}, {}
+        for key, value in params.items():
+            name, sep, sub = key.partition("__")
+            if sep:
+                nested.setdefault(name, {})[sub] = value
+            else:
+                direct[key] = value
+        children = self._named_children()
+        for name, sub_params in nested.items():
+            child = direct.get(name, children.get(name))
+            if child is None:
+                raise ValueError(
+                    f"{type(self).__name__} has no sub-estimator {name!r} "
+                    f"(known: {sorted(children)})"
+                )
+            child.set_params(**sub_params)
+        unknown = [key for key in direct if key not in valid]
+        if unknown:
+            raise ValueError(
+                f"invalid parameter(s) {sorted(unknown)} for "
+                f"{type(self).__name__}; valid: {list(valid)}"
+            )
+        if direct:
+            merged = {**self.get_params(deep=False), **direct}
+            self.__init__(**merged)
+        return self
+
+    def clone(self) -> "ParamsMixin":
+        """A fresh unfitted instance with identical hyper-parameters."""
+        return clone(self)
+
+    def __repr__(self) -> str:
+        try:
+            params = self.get_params(deep=False)
+        except Exception:
+            return f"{type(self).__name__}(...)"
+        defaults = init_defaults(type(self))
+        shown = []
+        for name, value in params.items():
+            default = defaults.get(name, inspect.Parameter.empty)
+            if default is inspect.Parameter.empty \
+                    or not _values_equal(value, default):
+                shown.append(f"{name}={value!r}")
+        return f"{type(self).__name__}({', '.join(shown)})"

@@ -1,0 +1,282 @@
+"""Composable pipeline: transformers + source detector + optional booster.
+
+UADB's deliverable is a *composition* — preprocess the data, fit a source
+detector, boost its scores — yet until now that composition lived in
+ad-hoc scripts (the CLI standardises by hand, examples re-implement the
+same three lines).  :class:`Pipeline` makes it one estimator behind the
+standard ``fit`` / ``decision_function`` / ``score_samples`` /
+``predict`` contract, so the whole composition clones, specs, persists
+(one artifact through :mod:`repro.serving`), and serves exactly like a
+single detector.
+
+Steps are ``(name, estimator)`` pairs classified by capability:
+
+* **transformers** — anything with ``transform`` (``StandardScaler``,
+  ``MinMaxScaler``); applied in order, fitted on the data they receive;
+* **the detector** — a fitted-score source with the
+  :class:`~repro.detectors.base.BaseDetector` contract (``fit(X)`` +
+  ``score_samples``); exactly one required;
+* **an optional booster** — anything fitted as ``fit(X, source_scores)``
+  (``UADBooster`` and the Table VI variants); must follow the detector.
+
+``fit`` chains them: transformed features go to the detector, the
+detector's training scores seed the booster, and the terminal step
+(booster if present, else detector) answers all scoring calls.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.api.params import ParamsMixin
+from repro.utils.validation import check_fitted
+
+__all__ = ["Pipeline"]
+
+
+def _fit_arity(estimator) -> int:
+    """Number of data arguments ``estimator.fit`` takes (1=X, 2=X+source)."""
+    try:
+        signature = inspect.signature(estimator.fit)
+    except (TypeError, ValueError):
+        return 1
+    required = [
+        p for p in signature.parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        and p.default is p.empty
+    ]
+    return len(required)
+
+
+def _classify(name: str, estimator) -> str:
+    if not hasattr(estimator, "fit"):
+        raise TypeError(f"step {name!r} ({type(estimator).__name__}) "
+                        f"has no fit method")
+    if hasattr(estimator, "transform"):
+        return "transform"
+    if not hasattr(estimator, "score_samples"):
+        raise TypeError(
+            f"step {name!r} ({type(estimator).__name__}) is neither a "
+            f"transformer (transform), a detector (fit(X) + "
+            f"score_samples), nor a booster (fit(X, source) + "
+            f"score_samples)"
+        )
+    return "boost" if _fit_arity(estimator) >= 2 else "detect"
+
+
+class Pipeline(ParamsMixin):
+    """Transformer steps, a source detector, and an optional booster.
+
+    Parameters
+    ----------
+    steps : list of (name, estimator)
+        Unique non-empty names (no ``__``, which is reserved for parameter
+        routing); bare estimators are auto-named after their class.  Order
+        must be transformers first, then the detector, then (optionally)
+        the booster.
+
+    Attributes
+    ----------
+    scores_ : ndarray
+        Training-set anomaly scores of the terminal step after ``fit``.
+    named_steps : dict
+        Step name -> estimator.
+
+    Examples
+    --------
+    >>> pipe = Pipeline([
+    ...     ("scaler", StandardScaler()),
+    ...     ("detector", IForest(random_state=0)),
+    ...     ("booster", UADBooster(random_state=0)),
+    ... ]).fit(X)
+    >>> pipe.score_samples(X_new)          # boosted scores in [0, 1]
+    """
+
+    def __init__(self, steps):
+        steps = list(steps)
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        normalized = []
+        for item in steps:
+            if isinstance(item, (tuple, list)) and len(item) == 2:
+                name, estimator = item
+            else:
+                name, estimator = type(item).__name__, item
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"step name must be a non-empty string, "
+                                 f"got {name!r}")
+            if "__" in name:
+                raise ValueError(
+                    f"step name {name!r} must not contain '__' (reserved "
+                    f"for parameter routing)"
+                )
+            normalized.append((name, estimator))
+        names = [name for name, _ in normalized]
+        if len(set(names)) != len(names):
+            raise ValueError(f"step names must be unique, got {names}")
+
+        roles = [(_classify(name, est), name, est) for name, est in normalized]
+        order = [role for role, _, _ in roles]
+        detectors = order.count("detect")
+        boosters = order.count("boost")
+        if detectors != 1:
+            raise ValueError(
+                f"Pipeline needs exactly one detector step, found "
+                f"{detectors} in {names}"
+            )
+        if boosters > 1:
+            raise ValueError(
+                f"Pipeline accepts at most one booster step, found "
+                f"{boosters} in {names}"
+            )
+        expected = (["transform"] * order.count("transform") + ["detect"]
+                    + ["boost"] * boosters)
+        if order != expected:
+            raise ValueError(
+                f"Pipeline steps must be transformers, then the detector, "
+                f"then an optional booster; got roles {order} for {names}"
+            )
+        self.steps = normalized
+        self._roles = order
+        self.scores_ = None
+
+    # -- structure --------------------------------------------------------
+    @property
+    def named_steps(self) -> dict:
+        return dict(self.steps)
+
+    def __getitem__(self, name: str):
+        return self.named_steps[name]
+
+    @property
+    def _transformers(self) -> list:
+        return [est for role, (_, est) in zip(self._roles, self.steps)
+                if role == "transform"]
+
+    @property
+    def _detector(self):
+        for role, (_, est) in zip(self._roles, self.steps):
+            if role == "detect":
+                return est
+        raise RuntimeError("unreachable: pipeline has no detector")
+
+    @property
+    def _booster(self):
+        for role, (_, est) in zip(self._roles, self.steps):
+            if role == "boost":
+                return est
+        return None
+
+    @property
+    def _terminal(self):
+        booster = self._booster
+        return booster if booster is not None else self._detector
+
+    def _named_children(self) -> dict:
+        # Duck-typed steps (valid for fit/score by capability) are
+        # excluded: deep parameter access and __param routing need the
+        # full protocol.
+        return {name: est for name, est in self.steps
+                if isinstance(est, ParamsMixin)}
+
+    def clone(self) -> "Pipeline":
+        """A fresh unfitted pipeline with every step cloned.
+
+        Refuses duck-typed steps rather than silently sharing them — a
+        "clone" whose step is the same object would let fitting one
+        pipeline mutate the other.
+        """
+        for name, est in self.steps:
+            if not isinstance(est, ParamsMixin):
+                raise TypeError(
+                    f"cannot clone Pipeline: step {name!r} "
+                    f"({type(est).__name__}) does not follow the repro "
+                    f"estimator protocol (ParamsMixin)"
+                )
+        return super().clone()
+
+    def set_params(self, **params) -> "Pipeline":
+        """Route ``step__param`` keys to steps; bare step names replace
+        the step's estimator; ``steps=...`` rebuilds the pipeline.
+
+        Any reconfiguration unfits the pipeline (``scores_`` resets), the
+        same contract every protocol estimator follows.
+        """
+        if not params:
+            return self
+        names = {name for name, _ in self.steps}
+        replacements = {key: params.pop(key) for key in list(params)
+                        if key in names}
+        if replacements:
+            new_steps = [(name, replacements.get(name, est))
+                         for name, est in self.steps]
+            self.__init__(new_steps)
+        super().set_params(**params)
+        self.scores_ = None
+        return self
+
+    # -- estimator contract ----------------------------------------------
+    def _transform(self, X) -> np.ndarray:
+        Z = X
+        for transformer in self._transformers:
+            Z = transformer.transform(Z)
+        return Z
+
+    def fit(self, X) -> "Pipeline":
+        """Fit every step in sequence on unlabelled data."""
+        Z = X
+        for transformer in self._transformers:
+            Z = transformer.fit(Z).transform(Z)
+        detector = self._detector
+        detector.fit(Z)
+        booster = self._booster
+        if booster is not None:
+            booster.fit(Z, detector.fit_scores())
+            self.scores_ = booster.scores_
+        else:
+            self.scores_ = detector.fit_scores()
+        return self
+
+    def fit_scores(self) -> np.ndarray:
+        """Training-set scores of the terminal step, in [0, 1]."""
+        check_fitted(self, "scores_")
+        return self.scores_
+
+    def score_samples(self, X) -> np.ndarray:
+        """Anomaly scores of ``X`` in [0, 1] from the terminal step."""
+        check_fitted(self, "scores_")
+        return self._terminal.score_samples(self._transform(X))
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw detector scores, or booster scores when a booster is set.
+
+        A booster has no separate raw scale — its [0, 1] output *is* the
+        decision function of a boosted pipeline.
+        """
+        check_fitted(self, "scores_")
+        Z = self._transform(X)
+        booster = self._booster
+        if booster is not None:
+            return booster.score_samples(Z)
+        return self._detector.decision_function(Z)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary labels (1 = anomaly) from the terminal step."""
+        check_fitted(self, "scores_")
+        return self._terminal.predict(self._transform(X))
+
+    # -- persistence ------------------------------------------------------
+    def get_state(self) -> dict:
+        """Full pipeline state for :mod:`repro.serving.artifacts`.
+
+        Each step carries its own fitted state through the serving codec,
+        so a restored pipeline scores bit-identically.
+        """
+        return {"steps": self.steps, "scores": self.scores_}
+
+    def set_state(self, state: dict) -> "Pipeline":
+        self.__init__(state["steps"])
+        self.scores_ = state["scores"]
+        return self

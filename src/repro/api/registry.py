@@ -1,0 +1,124 @@
+"""Single component registry behind specs, factories, and the CLI.
+
+Maps spec type names onto component classes — every registry detector,
+the UADB booster and its Table VI variants, the fold ensemble, the
+scalers, and :class:`~repro.api.pipeline.Pipeline`.  One registry serves
+:func:`repro.api.spec.build_spec`,
+:func:`repro.detectors.registry.make_detector`, and the CLI, so adding a
+component is one ``register_component`` call, not edits in four places.
+
+Seeding is decided by signature introspection — a component whose
+``__init__`` accepts ``random_state`` gets the caller's seed, the rest
+ignore it — replacing the hand-maintained name set the detector factory
+used to carry.
+
+Built-in components register lazily on first lookup, keeping this module
+import-light and cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.api.params import accepts_param
+
+__all__ = [
+    "COMPONENT_CLASSES",
+    "register_component",
+    "component_class",
+    "component_name",
+    "make_component",
+    "seeded_construct",
+]
+
+# name -> class for every spec-buildable component.
+COMPONENT_CLASSES: dict = {}
+_CLASS_NAMES: dict = {}
+_builtins_registered = False
+
+
+def register_component(cls, name: str | None = None):
+    """Register ``cls`` under ``name`` (default: the class name)."""
+    key = name or cls.__name__
+    existing = COMPONENT_CLASSES.get(key)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"component name {key!r} already registered")
+    COMPONENT_CLASSES[key] = cls
+    _CLASS_NAMES.setdefault(cls, key)
+    return cls
+
+
+def _ensure_builtins() -> None:
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    # Imported here, not at module top: detectors.registry itself imports
+    # this module for seeded construction.
+    from repro.api.pipeline import Pipeline
+    from repro.core.booster import UADBooster
+    from repro.core.ensemble import FoldEnsemble
+    from repro.core.variants import VARIANT_CLASSES
+    from repro.data.preprocessing import KFoldSplitter, MinMaxScaler, \
+        StandardScaler
+    from repro.detectors.registry import DETECTOR_CLASSES
+
+    for name, cls in DETECTOR_CLASSES.items():
+        register_component(cls, name)
+    for cls in (UADBooster, FoldEnsemble, StandardScaler, MinMaxScaler,
+                KFoldSplitter, Pipeline):
+        register_component(cls)
+    for name, cls in VARIANT_CLASSES.items():
+        # Variants keep their Table VI keys ('naive', 'self', ...) as well
+        # as their class names, so specs may use either.
+        register_component(cls, name)
+        register_component(cls)
+
+
+def component_class(name: str):
+    """The class registered under ``name``; raises ``KeyError`` if absent."""
+    _ensure_builtins()
+    try:
+        return COMPONENT_CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown component {name!r}; known: "
+            f"{sorted(COMPONENT_CLASSES)}"
+        ) from None
+
+
+def component_name(cls) -> str:
+    """The canonical registered name of ``cls``."""
+    _ensure_builtins()
+    try:
+        return _CLASS_NAMES[cls]
+    except KeyError:
+        raise KeyError(
+            f"{cls.__name__} is not a registered component; register it "
+            f"with repro.api.register_component"
+        ) from None
+
+
+def seeded_construct(cls, random_state=None, /, **kwargs):
+    """Instantiate ``cls``, forwarding ``random_state`` only if accepted.
+
+    The positional-only seed is the *uniform* pathway: deterministic
+    components simply never see it.  A ``random_state`` arriving in
+    ``kwargs`` is an *explicit pin* — it overrides the uniform seed, and
+    pinning one on a component whose constructor lacks the parameter
+    raises ``TypeError`` like any other unknown argument (a silently
+    dropped seed would let callers believe a run is pinned when it
+    is not).
+    """
+    if accepts_param(cls, "random_state"):
+        kwargs.setdefault("random_state", random_state)
+    return cls(**kwargs)
+
+
+def make_component(name: str, random_state=None, /, **kwargs):
+    """Build the component registered under ``name``.
+
+    A ``random_state`` keyword is the uniform seed (same as the
+    positional form): forwarded where accepted, ignored elsewhere.
+    """
+    if "random_state" in kwargs:
+        random_state = kwargs.pop("random_state")
+    return seeded_construct(component_class(name), random_state, **kwargs)

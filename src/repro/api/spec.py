@@ -1,0 +1,225 @@
+"""Declarative component specs: build any estimator from a JSON document.
+
+A spec is ``{"type": "<registered name>", "params": {...}}``; parameter
+values may themselves be specs (a pipeline nests its steps' specs), so a
+whole preprocessing + source-detector + booster composition is one JSON
+file::
+
+    {"type": "Pipeline", "params": {"steps": [
+        ["scaler",   {"type": "StandardScaler", "params": {}}],
+        ["detector", {"type": "IForest", "params": {"random_state": 0}}],
+        ["booster",  {"type": "UADBooster", "params": {"random_state": 0}}]
+    ]}}
+
+:func:`to_spec` reads a spec off a live estimator (constructor parameters
+only — never fitted state; artifacts carry that), :func:`build_spec`
+inverts it, and ``build_spec(to_spec(est))`` reconstructs an estimator
+that fits and scores bit-identically for integer seeds.
+:func:`canonical_spec` / :func:`spec_key` provide the sorted-key JSON
+form used for experiment cache keys and artifact manifests.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.params import _values_equal, init_defaults
+from repro.api.registry import component_class, component_name, \
+    seeded_construct
+
+__all__ = [
+    "SpecError",
+    "to_spec",
+    "build_spec",
+    "as_spec",
+    "canonical_spec",
+    "spec_key",
+    "load_spec",
+]
+
+
+class SpecError(ValueError):
+    """A spec document is malformed or an estimator is not spec-able."""
+
+
+def _encode_value(value, where: str):
+    """A parameter value as pure JSON; nested estimators become specs."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.dtype):
+        return value.name
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item, where) for item in value]
+    if isinstance(value, dict):
+        bad = [k for k in value if not isinstance(k, str)]
+        if bad:
+            raise SpecError(f"{where}: dict parameter has non-string "
+                            f"key(s) {bad!r}")
+        return {k: _encode_value(v, where) for k, v in value.items()}
+    if hasattr(value, "get_params"):
+        return to_spec(value)
+    raise SpecError(
+        f"{where}: value {value!r} of type {type(value).__name__} is not "
+        f"spec-serialisable; use JSON-able hyper-parameters (e.g. an "
+        f"integer seed instead of a Generator)"
+    )
+
+
+def _decode_value(value, random_state):
+    if isinstance(value, dict) and "type" in value:
+        return build_spec(value, random_state=random_state)
+    if isinstance(value, dict):
+        return {k: _decode_value(v, random_state) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item, random_state) for item in value]
+    return value
+
+
+def to_spec(estimator) -> dict:
+    """The declarative spec of ``estimator``'s configuration.
+
+    Only constructor parameters are captured — a spec describes how to
+    *build* the estimator, not its fitted state — and only parameters
+    that differ from their ``__init__`` defaults are recorded, so a
+    default-constructed estimator specs as ``{"type": name, "params":
+    {}}``: exactly the spec its bare registry name normalises to (one
+    configuration, one canonical form, one cache key).  Raises
+    :class:`SpecError` for unregistered classes or parameters that cannot
+    be expressed as JSON (live ``Generator`` streams, callables, ...).
+    """
+    try:
+        name = component_name(type(estimator))
+    except KeyError as exc:
+        raise SpecError(str(exc)) from None
+    get_params = getattr(estimator, "get_params", None)
+    if not callable(get_params):
+        raise SpecError(
+            f"{type(estimator).__name__} has no get_params; adopt "
+            f"repro.api.ParamsMixin"
+        )
+    defaults = init_defaults(type(estimator))
+    params = {}
+    for key, value in get_params(deep=False).items():
+        default = defaults.get(key, inspect.Parameter.empty)
+        if default is not inspect.Parameter.empty \
+                and _values_equal(value, default):
+            continue
+        params[key] = _encode_value(value, f"{name}.{key}")
+    return {"type": name, "params": params}
+
+
+def _check_spec(spec) -> dict:
+    if not isinstance(spec, dict):
+        raise SpecError(f"a spec must be a dict, got {type(spec).__name__}")
+    if not isinstance(spec.get("type"), str):
+        raise SpecError('a spec needs a string "type" key')
+    params = spec.get("params", {})
+    if not isinstance(params, dict):
+        raise SpecError(f'{spec["type"]}: "params" must be a dict, '
+                        f'got {type(params).__name__}')
+    unknown = set(spec) - {"type", "params"}
+    if unknown:
+        raise SpecError(
+            f'{spec["type"]}: unknown spec key(s) {sorted(unknown)}; '
+            f'a spec holds only "type" and "params"'
+        )
+    return params
+
+
+def build_spec(spec: dict, random_state=None):
+    """Instantiate the estimator a spec describes.
+
+    ``random_state`` seeds every component in the (possibly nested) spec
+    whose constructor accepts it and whose params do not already pin one —
+    the uniform-seeding behaviour of ``make_detector``, extended to whole
+    pipelines.
+    """
+    params = _check_spec(spec)
+    try:
+        cls = component_class(spec["type"])
+    except KeyError as exc:
+        raise SpecError(str(exc)) from None
+    kwargs = {key: _decode_value(value, random_state)
+              for key, value in params.items()}
+    # An explicit null seed is "unpinned", not "pinned to None": specs
+    # read off default-constructed estimators record random_state: null,
+    # and the caller's seed must still reach them.
+    if "random_state" in kwargs and kwargs["random_state"] is None:
+        del kwargs["random_state"]
+    try:
+        return seeded_construct(cls, random_state, **kwargs)
+    except TypeError as exc:
+        raise SpecError(f"{spec['type']}: {exc}") from None
+
+
+def as_spec(component) -> dict:
+    """Normalise a component reference into a spec dict.
+
+    Accepts a spec dict (validated and returned as-is), a registered
+    component name (``"IForest"`` becomes the default-parameter spec), or
+    a live estimator (via :func:`to_spec`).
+    """
+    if isinstance(component, str):
+        component_class(component)  # raises KeyError for unknown names
+        return {"type": component, "params": {}}
+    if isinstance(component, dict):
+        _check_spec(component)
+        return component
+    return to_spec(component)
+
+
+def _normalize(tree):
+    """Structural normal form: every (nested) spec carries a params dict."""
+    if isinstance(tree, dict) and "type" in tree:
+        params = _check_spec(tree)
+        return {"type": tree["type"],
+                "params": {k: _normalize(v) for k, v in params.items()}}
+    if isinstance(tree, dict):
+        return {k: _normalize(v) for k, v in tree.items()}
+    if isinstance(tree, list):
+        return [_normalize(item) for item in tree]
+    return tree
+
+
+def canonical_spec(spec: dict) -> str:
+    """The canonical JSON form: sorted keys, no whitespace, normalised
+    structure (an omitted ``params`` block equals an empty one, at every
+    nesting level).
+
+    Specs differing only in key order or omitted-vs-empty params
+    canonicalise to the same string, making it a stable cache / manifest
+    key; :func:`to_spec` emits the minimal non-default form, so a bare
+    registry name, its explicit empty spec, and a default-constructed
+    live estimator all share one canonical form.
+    """
+    try:
+        return json.dumps(_normalize(spec), sort_keys=True,
+                          separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"spec is not pure JSON: {exc}") from None
+
+
+def spec_key(spec: dict, length: int = 16) -> str:
+    """A short hex digest of the canonical spec, for file names."""
+    import hashlib
+
+    digest = hashlib.sha256(canonical_spec(spec).encode()).hexdigest()
+    return digest[:length]
+
+
+def load_spec(path) -> dict:
+    """Read and validate a spec JSON file."""
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SpecError(f"cannot read spec file {path}: {exc}") from exc
+    _check_spec(spec)
+    return spec

@@ -2,14 +2,20 @@
 
 Commands
 --------
-list-models            the 14 paper models + the extra baselines
+list-models            the 14 paper models + the 6 extra baselines
+                       (``--json`` for machine-readable output)
 list-datasets          the 84-dataset registry with Table III statistics
+                       (``--json`` for machine-readable output)
 boost                  fit one detector + UADB booster on one dataset
-                       (``--save DIR`` persists the booster artifact)
+                       (``--save DIR`` persists the booster artifact;
+                       ``--spec FILE`` builds the source — or a whole
+                       pipeline — from a JSON component spec)
 sweep                  Table IV protocol over a model/dataset grid
+                       (``--spec FILE`` adds spec-defined grid columns)
 variance               the Fig 2 variance-gap analysis
 export                 write a registry stand-in to .npz / .csv
-save                   fit a source detector and persist it as an artifact
+save                   fit a source detector (name or ``--spec``) and
+                       persist it as an artifact
 load-score             load a saved artifact and score a dataset with it
 serve                  serve saved models over a JSON HTTP API
 """
@@ -17,6 +23,7 @@ serve                  serve saved models over a JSON HTTP API
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import __version__
@@ -49,16 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-models", help="list available detectors")
+    p = sub.add_parser("list-models", help="list available detectors")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON output")
 
     p = sub.add_parser("list-datasets", help="list the benchmark registry")
     p.add_argument("--category", default=None,
                    help="filter by Table III category")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON output")
 
     p = sub.add_parser("boost", help="boost one detector on one dataset")
-    p.add_argument("detector", choices=ALL_DETECTOR_NAMES)
+    p.add_argument("detector", nargs="?", choices=ALL_DETECTOR_NAMES,
+                   default=None,
+                   help="source detector name (omit when using --spec)")
     p.add_argument("dataset", choices=DATASET_NAMES, metavar="dataset")
-    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--spec", default=None, metavar="FILE",
+                   help="JSON component spec for the source model; a "
+                        "Pipeline spec replaces the whole "
+                        "scale+detect+boost workflow")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="UADB iterations T (default 10); with a Pipeline "
+                        "spec, overrides the booster step's n_iterations")
     p.add_argument("--max-samples", type=int, default=600)
     p.add_argument("--max-features", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
@@ -67,7 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(serve it with `repro serve DIR`)")
 
     p = sub.add_parser("sweep", help="Table IV protocol on a grid")
-    p.add_argument("--models", nargs="+", default=list(DETECTOR_NAMES))
+    p.add_argument("--models", nargs="+", default=None,
+                   help="registry detector names (default: the 14 paper "
+                        "models, unless --spec supplies the grid)")
+    p.add_argument("--spec", action="append", default=None, metavar="FILE",
+                   help="JSON component spec to sweep as one grid column "
+                        "(repeatable; combines with --models)")
     p.add_argument("--datasets", nargs="+", required=True)
     p.add_argument("--iterations", type=int, default=10)
     p.add_argument("--max-samples", type=int, default=400)
@@ -93,9 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-features", type=int, default=64)
 
     p = sub.add_parser("save", help="fit a source detector and persist it")
-    p.add_argument("detector", choices=ALL_DETECTOR_NAMES)
+    p.add_argument("detector", nargs="?", choices=ALL_DETECTOR_NAMES,
+                   default=None,
+                   help="source detector name (omit when using --spec)")
     p.add_argument("dataset", choices=DATASET_NAMES, metavar="dataset")
     p.add_argument("path", metavar="DIR", help="artifact directory to write")
+    p.add_argument("--spec", default=None, metavar="FILE",
+                   help="JSON component spec for the model to fit and "
+                        "save (detector or whole Pipeline)")
     p.add_argument("--max-samples", type=int, default=600)
     p.add_argument("--max-features", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
@@ -122,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list_models(args, out) -> int:
+    if args.as_json:
+        json.dump({"paper": list(DETECTOR_NAMES),
+                   "extra": list(EXTRA_DETECTOR_NAMES)}, out, indent=1)
+        out.write("\n")
+        return 0
     out.write("paper models (Table IV):\n")
     for name in DETECTOR_NAMES:
         out.write(f"  {name}\n")
@@ -133,6 +167,15 @@ def _cmd_list_models(args, out) -> int:
 
 def _cmd_list_datasets(args, out) -> int:
     specs = dataset_specs(args.category)
+    if args.as_json:
+        json.dump([{"name": spec.name,
+                    "anomaly_rate": spec.anomaly_rate,
+                    "n_samples": spec.n_samples,
+                    "n_features": spec.n_features,
+                    "category": spec.category} for spec in specs],
+                  out, indent=1)
+        out.write("\n")
+        return 0
     out.write(f"{'name':<20s} {'anomaly %':>9s} {'n':>8s} {'d':>6s} "
               f"category\n")
     for spec in specs:
@@ -144,55 +187,118 @@ def _cmd_list_datasets(args, out) -> int:
     return 0
 
 
+def _build_source(args, out):
+    """Resolve the ``detector``/``--spec`` pair into a built component.
+
+    Returns ``(model, label)`` or ``(None, None)`` after printing an
+    error.  The model may be any spec-built component; callers decide
+    which contracts they accept.
+    """
+    from repro.api import SpecError, build_spec, load_spec
+
+    if (args.detector is None) == (args.spec is None):
+        out.write("error: pass exactly one of a detector name or "
+                  "--spec FILE\n")
+        return None, None
+    if args.spec is None:
+        return (make_detector(args.detector, random_state=args.seed),
+                args.detector)
+    try:
+        spec = load_spec(args.spec)
+        model = build_spec(spec, random_state=args.seed)
+    except SpecError as exc:
+        out.write(f"error: {exc}\n")
+        return None, None
+    return model, spec["type"]
+
+
 def _cmd_boost(args, out) -> int:
+    from repro.api import Pipeline
     from repro.core import UADBooster
 
     dataset = load_dataset(args.dataset, max_samples=args.max_samples,
                            max_features=args.max_features)
-    X = StandardScaler().fit_transform(dataset.X)
-    detector = make_detector(args.detector, random_state=args.seed)
-    detector.fit(X)
-    scores = detector.fit_scores()
-    booster = UADBooster(n_iterations=args.iterations,
-                         random_state=args.seed)
-    booster.fit(X, scores)
-
+    model, label = _build_source(args, out)
+    if model is None:
+        return 2
     out.write(f"dataset   : {dataset.name} "
               f"(n={dataset.n_samples}, d={dataset.n_features}, "
               f"contamination={dataset.contamination:.3f})\n")
-    out.write(f"detector  : {args.detector}  "
-              f"AUCROC={auc_roc(dataset.y, scores):.4f}  "
-              f"AP={average_precision(dataset.y, scores):.4f}\n")
-    out.write(f"UADB      : T={args.iterations}  "
-              f"AUCROC={auc_roc(dataset.y, booster.scores_):.4f}  "
-              f"AP={average_precision(dataset.y, booster.scores_):.4f}\n")
+
+    if isinstance(model, Pipeline):
+        # A pipeline spec carries its own preprocessing and (optional)
+        # booster: fit it on the raw features and report it whole.  An
+        # explicit --iterations routes to the booster step so the flag
+        # is never silently discarded.
+        if args.iterations is not None:
+            booster_step = model._booster
+            if booster_step is not None:
+                booster_step.set_params(n_iterations=args.iterations)
+            else:
+                out.write("note: --iterations ignored (pipeline spec has "
+                          "no booster step)\n")
+        model.fit(dataset.X)
+        final, data = model, dataset.X
+        out.write(f"pipeline  : {label} "
+                  f"[{' -> '.join(name for name, _ in model.steps)}]  "
+                  f"AUCROC={auc_roc(dataset.y, model.scores_):.4f}  "
+                  f"AP={average_precision(dataset.y, model.scores_):.4f}\n")
+    elif not hasattr(model, "fit_scores"):
+        out.write(f"error: {label} does not follow the source-detector "
+                  f"contract (fit(X) + fit_scores)\n")
+        return 2
+    else:
+        iterations = 10 if args.iterations is None else args.iterations
+        X = StandardScaler().fit_transform(dataset.X)
+        model.fit(X)
+        scores = model.fit_scores()
+        booster = UADBooster(n_iterations=iterations,
+                             random_state=args.seed)
+        booster.fit(X, scores)
+        final, data = booster, X
+        out.write(f"detector  : {label}  "
+                  f"AUCROC={auc_roc(dataset.y, scores):.4f}  "
+                  f"AP={average_precision(dataset.y, scores):.4f}\n")
+        out.write(f"UADB      : T={iterations}  "
+                  f"AUCROC={auc_roc(dataset.y, booster.scores_):.4f}  "
+                  f"AP={average_precision(dataset.y, booster.scores_):.4f}\n")
     if args.save is not None:
         from repro.serving import save_model
 
-        path = save_model(booster, args.save, data=X, extra={
-            "detector": args.detector,
+        path = save_model(final, args.save, data=data, extra={
+            "detector": label,
             "dataset": args.dataset,
             "seed": args.seed,
             "max_samples": args.max_samples,
             "max_features": args.max_features,
-            "aucroc": auc_roc(dataset.y, booster.scores_),
-            "ap": average_precision(dataset.y, booster.scores_),
+            "aucroc": auc_roc(dataset.y, final.scores_),
+            "ap": average_precision(dataset.y, final.scores_),
         })
         out.write(f"saved     : {path} (serve with `repro serve {path}`)\n")
     return 0
 
 
 def _cmd_save(args, out) -> int:
+    from repro.api import Pipeline
     from repro.serving import save_model
 
     dataset = load_dataset(args.dataset, max_samples=args.max_samples,
                            max_features=args.max_features)
-    X = StandardScaler().fit_transform(dataset.X)
-    detector = make_detector(args.detector, random_state=args.seed)
-    detector.fit(X)
-    scores = detector.fit_scores()
-    path = save_model(detector, args.path, data=X, extra={
-        "detector": args.detector,
+    model, label = _build_source(args, out)
+    if model is None:
+        return 2
+    if isinstance(model, Pipeline):
+        X = dataset.X
+    elif hasattr(model, "fit_scores"):
+        X = StandardScaler().fit_transform(dataset.X)
+    else:
+        out.write(f"error: {label} does not follow the source-detector "
+                  f"contract (fit(X) + fit_scores)\n")
+        return 2
+    model.fit(X)
+    scores = model.fit_scores()
+    path = save_model(model, args.path, data=X, extra={
+        "detector": label,
         "dataset": args.dataset,
         "seed": args.seed,
         "max_samples": args.max_samples,
@@ -200,7 +306,7 @@ def _cmd_save(args, out) -> int:
         "aucroc": auc_roc(dataset.y, scores),
         "ap": average_precision(dataset.y, scores),
     })
-    out.write(f"saved {args.detector} fitted on {dataset.name} "
+    out.write(f"saved {label} fitted on {dataset.name} "
               f"(n={dataset.n_samples}, d={dataset.n_features}) to {path}\n")
     return 0
 
@@ -217,7 +323,15 @@ def _cmd_load_score(args, out) -> int:
         return 2
     dataset = load_dataset(args.dataset, max_samples=args.max_samples,
                            max_features=args.max_features)
-    X = StandardScaler().fit_transform(dataset.X)
+    # Pipelines carry their own preprocessing and were fitted (and
+    # fingerprinted) on raw features; standalone models were fitted on
+    # standardised features — mirror what boost/save fed them.
+    from repro.api import Pipeline
+
+    if isinstance(model, Pipeline):
+        X = dataset.X
+    else:
+        X = StandardScaler().fit_transform(dataset.X)
     recorded = manifest.get("data_fingerprint")
     if recorded is not None:
         match = data_fingerprint(X) == recorded
@@ -267,11 +381,22 @@ def _cmd_serve(args, out) -> int:
 
 
 def _cmd_sweep(args, out) -> int:
+    from repro.api import SpecError, load_spec
     from repro.experiments import format_table4, run_grid, table4_summary
 
-    n_cells = len(args.models) * len(args.datasets) * len(args.seeds)
+    models = list(args.models) if args.models else []
+    for spec_file in args.spec or []:
+        try:
+            models.append(load_spec(spec_file))
+        except SpecError as exc:
+            out.write(f"error: {exc}\n")
+            return 2
+    if not models:
+        models = list(DETECTOR_NAMES)
+
+    n_cells = len(models) * len(args.datasets) * len(args.seeds)
     out.write(
-        f"sweep: {len(args.models)} models x {len(args.datasets)} datasets "
+        f"sweep: {len(models)} models x {len(args.datasets)} datasets "
         f"x {len(args.seeds)} seeds = {n_cells} cells (jobs={args.jobs})\n")
 
     def progress(msg):
@@ -281,7 +406,7 @@ def _cmd_sweep(args, out) -> int:
 
     try:
         results = run_grid(
-            detectors=tuple(args.models),
+            detectors=tuple(models),
             datasets=tuple(args.datasets),
             seeds=tuple(args.seeds),
             n_iterations=args.iterations,

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.params import ParamsMixin
 from repro.core.ensemble import FoldEnsemble
 from repro.core.labels import variance_update
 from repro.core.variance import variance_history
@@ -74,7 +75,7 @@ def _resolve_source_scores(X: np.ndarray, source) -> np.ndarray:
     return minmax_scale(scores)
 
 
-class UADBooster:
+class UADBooster(ParamsMixin):
     """Model-agnostic booster for unsupervised anomaly detectors.
 
     Parameters

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.params import ParamsMixin
 from repro.data.preprocessing import KFoldSplitter, StandardScaler
 from repro.nn.batched import (
     BatchedAdam,
@@ -62,7 +63,7 @@ def _array_fingerprint(X):
             float(X.sum()))
 
 
-class FoldEnsemble:
+class FoldEnsemble(ParamsMixin):
     """An ensemble of identical MLPs trained on complementary folds.
 
     Parameters

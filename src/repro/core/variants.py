@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.params import ParamsMixin
 from repro.core.booster import _resolve_source_scores
 from repro.core.ensemble import FoldEnsemble
 from repro.core.labels import self_update
@@ -36,7 +37,7 @@ __all__ = [
 ]
 
 
-class _VariantBase:
+class _VariantBase(ParamsMixin):
     """Shared mechanics: fold-ensemble student + configurable label loop."""
 
     #: subclasses set these two class attributes

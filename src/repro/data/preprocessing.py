@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.params import ParamsMixin
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_array, check_fitted
 
@@ -31,7 +32,7 @@ def minmax_scale(values: np.ndarray) -> np.ndarray:
     return out
 
 
-class MinMaxScaler:
+class MinMaxScaler(ParamsMixin):
     """Column-wise min-max scaler with a fit/transform interface."""
 
     def __init__(self, feature_range: tuple = (0.0, 1.0)):
@@ -65,7 +66,7 @@ class MinMaxScaler:
         return self.fit(X).transform(X)
 
 
-class StandardScaler:
+class StandardScaler(ParamsMixin):
     """Column-wise standardisation to zero mean and unit variance."""
 
     def __init__(self):
@@ -92,7 +93,7 @@ class StandardScaler:
         return self.fit(X).transform(X)
 
 
-class KFoldSplitter:
+class KFoldSplitter(ParamsMixin):
     """Shuffled k-fold splitter yielding ``(train_idx, test_idx)`` pairs.
 
     UADB trains three boosters, each on a different 2/3 of the data; this is

@@ -1,4 +1,4 @@
-"""The 14 source UAD models the paper boosts, plus shared machinery."""
+"""The 14 paper source UAD models + 6 extra baselines, plus shared machinery."""
 
 from repro.detectors.abod import ABOD
 from repro.detectors.base import BaseDetector

@@ -1,4 +1,5 @@
-"""Base class shared by all 14 unsupervised anomaly detectors.
+"""Base class shared by all 20 unsupervised anomaly detectors
+(14 paper models + 6 extra baselines).
 
 The contract mirrors PyOD's, which the paper uses for every source model:
 
@@ -16,16 +17,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.params import ParamsMixin
 from repro.utils.validation import check_array, check_fitted
 
 __all__ = ["BaseDetector"]
 
 
-class BaseDetector:
+class BaseDetector(ParamsMixin):
     """Abstract unsupervised anomaly detector.
 
     Subclasses implement ``_fit(X)`` (returning raw training scores) and
-    ``_decision_function(X)`` (raw scores for new data).
+    ``_decision_function(X)`` (raw scores for new data).  Hyper-parameter
+    access (``get_params`` / ``set_params`` / ``clone`` and the
+    params-based ``__repr__``) comes from the repro estimator protocol:
+    constructors store every argument under a same-named attribute and
+    :class:`~repro.api.params.ParamsMixin` introspects the rest.
 
     Parameters
     ----------
@@ -131,6 +137,3 @@ class BaseDetector:
         """Restore a detector from :meth:`get_state` output."""
         self.__dict__.update(state)
         return self
-
-    def __repr__(self) -> str:
-        return f"{type(self).__name__}(contamination={self.contamination})"

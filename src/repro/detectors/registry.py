@@ -8,6 +8,7 @@ here, and ``DETECTOR_NAMES`` preserves the paper's ordering (Table IV).
 
 from __future__ import annotations
 
+from repro.api.registry import seeded_construct
 from repro.detectors.abod import ABOD
 from repro.detectors.cblof import CBLOF
 from repro.detectors.cof import COF
@@ -67,22 +68,17 @@ EXTRA_DETECTOR_NAMES = tuple(EXTRA_DETECTOR_CLASSES)
 ALL_DETECTOR_NAMES = DETECTOR_NAMES + EXTRA_DETECTOR_NAMES
 DETECTOR_CLASSES = {**DETECTOR_CLASSES, **EXTRA_DETECTOR_CLASSES}
 
-# Detectors whose constructor accepts a random_state.
-_SEEDED = {"IForest", "OCSVM", "CBLOF", "GMM", "LODA", "DeepSVDD",
-           "MCD", "KDE", "INNE", "FeatureBagging", "Sampling"}
-
 
 def make_detector(name: str, random_state=None, **kwargs):
     """Instantiate detector ``name`` with paper-default hyper-parameters.
 
-    ``random_state`` is forwarded to stochastic detectors and ignored by the
+    ``random_state`` is forwarded to detectors whose constructor accepts
+    one (decided by signature introspection — see
+    :func:`repro.api.registry.seeded_construct`) and ignored by the
     deterministic ones, so callers can pass it uniformly.
     """
     if name not in DETECTOR_CLASSES:
         raise KeyError(
             f"unknown detector {name!r}; known: {list(ALL_DETECTOR_NAMES)}"
         )
-    cls = DETECTOR_CLASSES[name]
-    if name in _SEEDED:
-        kwargs.setdefault("random_state", random_state)
-    return cls(**kwargs)
+    return seeded_construct(DETECTOR_CLASSES[name], random_state, **kwargs)

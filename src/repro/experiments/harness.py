@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api.spec import as_spec, build_spec, canonical_spec, spec_key
 from repro.core.booster import UADBooster
 from repro.core.variants import make_variant
 from repro.data.preprocessing import StandardScaler
@@ -35,7 +36,7 @@ from repro.metrics.ranking import auc_roc, average_precision
 from repro.utils.rng import check_random_state
 
 __all__ = ["RunResult", "ExperimentRunner", "run_single", "run_variant",
-           "run_grid", "DEFAULT_BENCH_DATASETS"]
+           "run_grid", "spec_label", "DEFAULT_BENCH_DATASETS"]
 
 # A deliberately heterogeneous 20-dataset core used by the default (fast)
 # benchmark configuration: it mixes datasets where the classic detectors do
@@ -83,20 +84,38 @@ def _standardize(X: np.ndarray) -> np.ndarray:
     return StandardScaler().fit_transform(X)
 
 
-def run_single(dataset: Dataset, detector_name: str, n_iterations: int = 10,
+def spec_label(spec: dict) -> str:
+    """Short display label for a spec cell.
+
+    A bare name spec (no parameter overrides) labels as the name itself,
+    so classic name-driven grids read unchanged; parameterised specs get
+    a stable ``type@hash`` suffix distinguishing configurations.
+    """
+    if not spec.get("params"):
+        return spec["type"]
+    return f"{spec['type']}@{spec_key(spec, 8)}"
+
+
+def run_single(dataset: Dataset, detector_name, n_iterations: int = 10,
                seed: int = 0, booster_kwargs: dict | None = None,
                detector_kwargs: dict | None = None) -> RunResult:
-    """Fit ``detector_name`` and its UADB booster on ``dataset``.
+    """Fit a source model and its UADB booster on ``dataset``.
 
-    Features are standardised before fitting (ADBench's preprocessing);
-    labels are used only for evaluation.
+    ``detector_name`` may be a registry name (``"IForest"``), a component
+    spec dict (``{"type": ..., "params": {...}}`` — including a whole
+    ``Pipeline`` spec, since pipelines follow the detector contract), or
+    a live estimator.  Features are standardised before fitting
+    (ADBench's preprocessing); labels are used only for evaluation.
     """
     rng = check_random_state(seed)
     X = _standardize(dataset.X)
     y = dataset.y
 
-    detector = make_detector(detector_name, random_state=rng,
-                             **(detector_kwargs or {}))
+    spec = as_spec(detector_name)
+    if detector_kwargs:
+        spec = {"type": spec["type"],
+                "params": {**spec.get("params", {}), **detector_kwargs}}
+    detector = build_spec(spec, random_state=rng)
     detector.fit(X)
     source_scores = detector.fit_scores()
 
@@ -112,7 +131,7 @@ def run_single(dataset: Dataset, detector_name: str, n_iterations: int = 10,
             iteration_ap.append(average_precision(y, scores))
 
     return RunResult(
-        detector=detector_name,
+        detector=spec_label(spec),
         dataset=dataset.name,
         seed=seed,
         source_auc=auc_roc(y, source_scores),
@@ -200,7 +219,7 @@ class ExperimentRunner:
     ...                           datasets=("glass", "cardio"), seeds=(0, 1))
     """
 
-    _CACHE_VERSION = 1
+    _CACHE_VERSION = 2
 
     def __init__(self, n_jobs: int = 1, cache_dir=None, progress=None):
         if int(n_jobs) < 1:
@@ -218,13 +237,19 @@ class ExperimentRunner:
                  n_iterations: int = 10, max_samples: int = 600,
                  max_features: int = 32,
                  booster_kwargs: dict | None = None) -> list:
-        """Run the full detector x dataset x seed grid; see :func:`run_grid`."""
+        """Run the full detector x dataset x seed grid; see :func:`run_grid`.
+
+        ``detectors`` entries may be registry names, component spec dicts
+        (arbitrary configurations, whole pipelines), or live estimators —
+        everything normalises through :func:`repro.api.as_spec`.
+        """
         resolved = _resolve_datasets(datasets, max_samples, max_features)
+        det_specs = [as_spec(det) for det in detectors]
         specs = [
-            {"dataset": dataset, "detector": name, "seed": seed,
+            {"dataset": dataset, "detector": det_spec, "seed": seed,
              "n_iterations": n_iterations, "booster_kwargs": booster_kwargs}
             for dataset in resolved
-            for name in detectors
+            for det_spec in det_specs
             for seed in seeds
         ]
         results = [None] * len(specs)
@@ -279,9 +304,14 @@ class ExperimentRunner:
         fingerprint.update(dataset.name.encode())
         fingerprint.update(np.ascontiguousarray(dataset.X).tobytes())
         fingerprint.update(np.ascontiguousarray(dataset.y).tobytes())
+        # The detector enters the key as its canonical spec JSON, so a
+        # registry name, its explicit spec (any key order, omitted or
+        # empty params), and a default-constructed live estimator all
+        # hash identically — and any parameter change is a guaranteed
+        # miss.
         key = json.dumps(
             {"version": self._CACHE_VERSION,
-             "detector": spec["detector"],
+             "detector": canonical_spec(spec["detector"]),
              "dataset": fingerprint.hexdigest(),
              "seed": spec["seed"],
              "n_iterations": spec["n_iterations"],
@@ -289,9 +319,10 @@ class ExperimentRunner:
             sort_keys=True, default=repr,
         )
         digest = hashlib.sha256(key.encode()).hexdigest()[:16]
-        safe = "".join(c if c.isalnum() else "-" for c in dataset.name)
-        return self.cache_dir / (
-            f"{spec['detector']}-{safe}-s{spec['seed']}-{digest}.json")
+        label = spec_label(spec["detector"])
+        safe = "".join(c if c.isalnum() else "-" for c in
+                       f"{label}-{dataset.name}")
+        return self.cache_dir / (f"{safe}-s{spec['seed']}-{digest}.json")
 
     def _cache_load(self, spec: dict):
         if self.cache_dir is None:
@@ -321,7 +352,9 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
 
     Parameters
     ----------
-    detectors : iterable of str
+    detectors : iterable of str, spec dict, or estimator
+        Registry names, ``{"type": ..., "params": {...}}`` component
+        specs (including whole ``Pipeline`` specs), or live estimators.
     datasets : iterable of str or Dataset
     seeds : iterable of int
         Independent repetitions (seed-averaged downstream).

@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 import repro
+from repro.api.spec import SpecError, to_spec
 from repro.serving.state import STATEFUL_CLASSES, decode, encode
 
 __all__ = [
@@ -141,6 +142,14 @@ def save_model(model, path, *, data=None, extra=None) -> Path:
     with open(payload_tmp, "wb") as handle:  # keep numpy off suffix games
         np.savez_compressed(handle, **arrays)
     payload_sha256 = hashlib.sha256(payload_tmp.read_bytes()).hexdigest()
+    # The producing spec makes the artifact self-reproducing: feed it back
+    # through repro.api.build_spec (or `repro boost --spec`) to rebuild an
+    # unfitted twin of the saved model.  Best-effort: models configured
+    # with non-JSON-able values (e.g. a live Generator) record null.
+    try:
+        spec = to_spec(model)
+    except SpecError:
+        spec = None
     manifest = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
@@ -148,6 +157,7 @@ def save_model(model, path, *, data=None, extra=None) -> Path:
         "kind": kind,
         "created_unix": time.time(),
         "config": _config_summary(model),
+        "spec": spec,
         "data_fingerprint": None if data is None else data_fingerprint(data),
         "n_arrays": len(arrays),
         "payload_sha256": payload_sha256,

@@ -178,8 +178,10 @@ def _register_builtin_classes() -> None:
     registry entry); the rest are the helper objects that appear inside
     detector / ensemble state.
     """
+    from repro.api.pipeline import Pipeline
     from repro.core.booster import BoosterHistory, UADBooster
     from repro.core.ensemble import FoldEnsemble
+    from repro.core.variants import VARIANT_CLASSES
     from repro.data.preprocessing import MinMaxScaler, StandardScaler
     from repro.detectors.gmm import GaussianMixture
     from repro.detectors.histograms import Histogram1D
@@ -192,6 +194,8 @@ def _register_builtin_classes() -> None:
     from repro.nn.training import TrainingHistory
 
     for cls in DETECTOR_CLASSES.values():
+        register_stateful(cls)
+    for cls in set(VARIANT_CLASSES.values()) | {Pipeline}:
         register_stateful(cls)
     for cls in (UADBooster, BoosterHistory, FoldEnsemble, StandardScaler,
                 MinMaxScaler, GaussianMixture, Histogram1D, _IsolationTree,

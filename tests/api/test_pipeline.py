@@ -1,0 +1,245 @@
+"""Tests for the composable Pipeline, including persistence and serving."""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import Pipeline, build_spec, to_spec
+from repro.core import UADBooster
+from repro.core.variants import SelfBooster
+from repro.data.preprocessing import MinMaxScaler, StandardScaler
+from repro.detectors import HBOS, IForest, KNN
+from repro.serving import ModelStore, load_model, save_model
+from repro.serving.server import build_server
+from tests.conftest import FAST_BOOSTER
+
+
+def fast_booster(**overrides):
+    return UADBooster(**{**FAST_BOOSTER, "random_state": 0, **overrides})
+
+
+@pytest.fixture
+def raw_dataset(small_dataset):
+    # Pipelines own their preprocessing, so tests feed unscaled data.
+    X, y = small_dataset
+    rng = np.random.default_rng(5)
+    return X * 3.0 + rng.normal(size=X.shape[1]), y
+
+
+class TestConstruction:
+    def test_auto_names(self):
+        pipe = Pipeline([StandardScaler(), IForest()])
+        assert [name for name, _ in pipe.steps] == ["StandardScaler",
+                                                    "IForest"]
+
+    def test_requires_detector(self):
+        with pytest.raises(ValueError, match="exactly one detector"):
+            Pipeline([("scaler", StandardScaler())])
+
+    def test_rejects_two_detectors(self):
+        with pytest.raises(ValueError, match="exactly one detector"):
+            Pipeline([("a", HBOS()), ("b", KNN())])
+
+    def test_rejects_two_boosters(self):
+        with pytest.raises(ValueError, match="at most one booster"):
+            Pipeline([("d", HBOS()), ("b1", fast_booster()),
+                      ("b2", fast_booster())])
+
+    def test_rejects_wrong_order(self):
+        with pytest.raises(ValueError, match="transformers, then"):
+            Pipeline([("det", HBOS()), ("scaler", StandardScaler())])
+        with pytest.raises(ValueError, match="transformers, then"):
+            Pipeline([("boost", fast_booster()), ("det", HBOS())])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            Pipeline([("x", StandardScaler()), ("x", HBOS())])
+
+    def test_rejects_dunder_names(self):
+        with pytest.raises(ValueError, match="__"):
+            Pipeline([("a__b", HBOS())])
+
+    def test_rejects_non_estimator(self):
+        with pytest.raises(TypeError, match="no fit"):
+            Pipeline([("x", object())])
+
+    def test_variant_accepted_as_booster(self):
+        pipe = Pipeline([("det", HBOS()),
+                         ("boost", SelfBooster(n_iterations=1))])
+        assert pipe._booster is not None
+
+
+class TestContract:
+    def test_matches_manual_composition(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([
+            ("scaler", StandardScaler()),
+            ("detector", IForest(random_state=0)),
+            ("booster", fast_booster()),
+        ]).fit(X)
+
+        Z = StandardScaler().fit_transform(X)
+        det = IForest(random_state=0).fit(Z)
+        booster = fast_booster().fit(Z, det.fit_scores())
+
+        np.testing.assert_array_equal(pipe.scores_, booster.scores_)
+        np.testing.assert_array_equal(pipe.score_samples(X),
+                                      booster.score_samples(Z))
+        np.testing.assert_array_equal(pipe.predict(X), booster.predict(Z))
+
+    def test_without_booster_scores_like_detector(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([("scaler", StandardScaler()),
+                         ("det", KNN())]).fit(X)
+        Z = StandardScaler().fit_transform(X)
+        det = KNN().fit(Z)
+        np.testing.assert_array_equal(pipe.scores_, det.fit_scores())
+        np.testing.assert_array_equal(pipe.decision_function(X),
+                                      det.decision_function(Z))
+        np.testing.assert_array_equal(pipe.predict(X), det.predict(Z))
+
+    def test_chained_transformers(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([("minmax", MinMaxScaler()),
+                         ("standard", StandardScaler()),
+                         ("det", HBOS())]).fit(X)
+        Z = MinMaxScaler().fit_transform(X)
+        Z = StandardScaler().fit_transform(Z)
+        np.testing.assert_array_equal(pipe.score_samples(X),
+                                      HBOS().fit(Z).score_samples(Z))
+
+    def test_unfitted_scoring_rejected(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([("det", HBOS())])
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipe.score_samples(X)
+
+    def test_fit_scores(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([("det", HBOS())]).fit(X)
+        np.testing.assert_array_equal(pipe.fit_scores(), pipe.scores_)
+
+
+class TestParams:
+    def test_deep_params_routed_by_step_name(self):
+        pipe = Pipeline([("scaler", StandardScaler()),
+                         ("det", IForest(n_estimators=9))])
+        assert pipe.get_params()["det__n_estimators"] == 9
+        pipe.set_params(det__n_estimators=11)
+        assert pipe["det"].n_estimators == 11
+
+    def test_step_replacement_by_name(self):
+        pipe = Pipeline([("det", HBOS())])
+        pipe.set_params(det=KNN(n_neighbors=3))
+        assert isinstance(pipe["det"], KNN)
+
+    def test_reconfiguration_unfits(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([("det", HBOS())]).fit(X)
+        pipe.set_params(det__n_bins=5)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipe.score_samples(X)
+
+    def test_duck_typed_step_fits_but_guards_protocol_access(
+            self, raw_dataset):
+        # Steps are classified by capability, so a non-ParamsMixin
+        # detector is fittable — but deep params skip it and clone
+        # refuses to silently share it between twins.
+        X, _ = raw_dataset
+
+        class DuckDetector:
+            def fit(self, X):
+                self.mean_ = X.mean(axis=0)
+                return self
+
+            def fit_scores(self):
+                return np.zeros(1)
+
+            def score_samples(self, X):
+                return np.abs(X - self.mean_).sum(axis=1)
+
+            def decision_function(self, X):
+                return self.score_samples(X)
+
+        pipe = Pipeline([("scaler", StandardScaler()),
+                         ("duck", DuckDetector())])
+        assert "duck" not in {k.split("__")[0]
+                              for k in pipe.get_params() if "__" in k}
+        with pytest.raises(TypeError, match="duck"):
+            pipe.clone()
+
+    def test_clone_is_deep(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([("scaler", StandardScaler()), ("det", HBOS())])
+        twin = pipe.clone()
+        assert twin["det"] is not pipe["det"]
+        pipe.fit(X)
+        assert twin.scores_ is None
+
+    def test_spec_round_trip_bit_identical(self, raw_dataset):
+        X, _ = raw_dataset
+        pipe = Pipeline([
+            ("scaler", StandardScaler()),
+            ("detector", IForest(random_state=0)),
+            ("booster", fast_booster()),
+        ])
+        rebuilt = build_spec(to_spec(pipe))
+        np.testing.assert_array_equal(pipe.fit(X).score_samples(X),
+                                      rebuilt.fit(X).score_samples(X))
+
+
+class TestPersistenceAndServing:
+    def test_artifact_round_trip_bit_identical(self, raw_dataset, tmp_path):
+        X, _ = raw_dataset
+        pipe = Pipeline([
+            ("scaler", StandardScaler()),
+            ("detector", IForest(random_state=0)),
+            ("booster", fast_booster()),
+        ]).fit(X)
+        path = save_model(pipe, tmp_path / "pipe", data=X)
+        restored = load_model(path, expected_kind="Pipeline")
+        np.testing.assert_array_equal(pipe.score_samples(X),
+                                      restored.score_samples(X))
+
+    def test_manifest_records_producing_spec(self, raw_dataset, tmp_path):
+        X, _ = raw_dataset
+        pipe = Pipeline([("scaler", StandardScaler()),
+                         ("det", HBOS())]).fit(X)
+        save_model(pipe, tmp_path / "pipe")
+        manifest = json.loads((tmp_path / "pipe" / "manifest.json")
+                              .read_text())
+        spec = manifest["spec"]
+        assert spec["type"] == "Pipeline"
+        rebuilt = build_spec(spec).fit(X)
+        np.testing.assert_array_equal(pipe.score_samples(X),
+                                      rebuilt.score_samples(X))
+
+    def test_http_scores_match_in_process(self, raw_dataset, tmp_path):
+        X, _ = raw_dataset
+        pipe = Pipeline([
+            ("scaler", StandardScaler()),
+            ("detector", IForest(random_state=0)),
+            ("booster", fast_booster()),
+        ]).fit(X)
+        save_model(pipe, tmp_path / "pipe", data=X)
+        server = build_server(ModelStore(tmp_path / "pipe"),
+                              port=0, cache_size=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            body = json.dumps({"X": X[:13].tolist()}).encode()
+            request = urllib.request.Request(
+                f"http://{host}:{port}/score", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.load(response)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+        served = np.asarray(payload["scores"], dtype=np.float64)
+        np.testing.assert_array_equal(served, pipe.score_samples(X[:13]))

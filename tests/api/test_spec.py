@@ -1,0 +1,196 @@
+"""Tests for the declarative spec format and the component registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Pipeline,
+    SpecError,
+    as_spec,
+    build_spec,
+    canonical_spec,
+    component_class,
+    load_spec,
+    make_component,
+    spec_key,
+    to_spec,
+)
+from repro.core import UADBooster
+from repro.data.preprocessing import StandardScaler
+from repro.detectors import HBOS, IForest
+from repro.detectors.registry import ALL_DETECTOR_NAMES
+
+
+class TestRegistry:
+    def test_every_detector_registered(self):
+        for name in ALL_DETECTOR_NAMES:
+            assert component_class(name) is not None
+
+    def test_core_components_registered(self):
+        assert component_class("UADBooster") is UADBooster
+        assert component_class("StandardScaler") is StandardScaler
+        assert component_class("Pipeline") is Pipeline
+        assert component_class("naive").__name__ == "NaiveBooster"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown component"):
+            component_class("NotAThing")
+
+    def test_make_component_seeds_by_introspection(self):
+        assert make_component("IForest", random_state=5).random_state == 5
+        knn = make_component("KNN", random_state=5)  # deterministic: no seed
+        assert not hasattr(knn, "random_state")
+
+
+class TestToSpec:
+    def test_detector_spec(self):
+        spec = to_spec(IForest(n_estimators=10, random_state=0))
+        assert spec["type"] == "IForest"
+        assert spec["params"]["n_estimators"] == 10
+        assert spec["params"]["random_state"] == 0
+
+    def test_spec_is_pure_json(self):
+        spec = to_spec(UADBooster(dtype="float32"))
+        json.dumps(spec)  # must not raise
+
+    def test_generator_seed_rejected(self):
+        det = IForest(random_state=np.random.default_rng(0))
+        with pytest.raises(SpecError, match="not.*spec-serialisable"):
+            to_spec(det)
+
+    def test_unregistered_class_rejected(self):
+        class Foreign:
+            def get_params(self, deep=True):
+                return {}
+
+        with pytest.raises(SpecError, match="not a registered component"):
+            to_spec(Foreign())
+
+
+class TestBuildSpec:
+    def test_name_and_params(self):
+        det = build_spec({"type": "HBOS", "params": {"n_bins": 5}})
+        assert isinstance(det, HBOS)
+        assert det.n_bins == 5
+
+    def test_seed_injection(self):
+        det = build_spec({"type": "IForest"}, random_state=9)
+        assert det.random_state == 9
+
+    def test_explicit_seed_wins(self):
+        det = build_spec({"type": "IForest",
+                          "params": {"random_state": 3}}, random_state=9)
+        assert det.random_state == 3
+
+    def test_pinned_seed_on_seedless_component_rejected(self):
+        # A spec author pinning random_state on a deterministic detector
+        # must get an error, not a silently unseeded run; the uniform
+        # build_spec(..., random_state=...) pathway stays a no-op.
+        with pytest.raises(SpecError, match="KNN"):
+            build_spec({"type": "KNN", "params": {"random_state": 7}})
+        build_spec({"type": "KNN"}, random_state=7)  # uniform: fine
+
+    def test_null_seed_is_unpinned(self):
+        spec = to_spec(IForest())  # records random_state: None
+        assert build_spec(spec, random_state=4).random_state == 4
+
+    def test_nested_pipeline_spec_seeds_every_component(self):
+        spec = {"type": "Pipeline", "params": {"steps": [
+            ["scaler", {"type": "StandardScaler", "params": {}}],
+            ["det", {"type": "IForest", "params": {}}],
+            ["boost", {"type": "UADBooster", "params": {}}],
+        ]}}
+        pipe = build_spec(spec, random_state=2)
+        assert isinstance(pipe, Pipeline)
+        assert pipe["det"].random_state == 2
+        assert pipe["boost"].random_state == 2
+
+    def test_malformed_specs_rejected(self):
+        for bad in (42, {"params": {}}, {"type": 3},
+                    {"type": "HBOS", "params": 7},
+                    {"type": "HBOS", "extra": 1}):
+            with pytest.raises(SpecError):
+                build_spec(bad)
+
+    def test_unknown_type(self):
+        with pytest.raises(SpecError, match="unknown component"):
+            build_spec({"type": "NotAThing"})
+
+    def test_bad_param_name(self):
+        with pytest.raises(SpecError, match="HBOS"):
+            build_spec({"type": "HBOS", "params": {"bogus": 1}})
+
+
+class TestAsSpec:
+    def test_name(self):
+        assert as_spec("IForest") == {"type": "IForest", "params": {}}
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            as_spec("NotAThing")
+
+    def test_dict_passthrough(self):
+        spec = {"type": "HBOS", "params": {"n_bins": 4}}
+        assert as_spec(spec) is spec
+
+    def test_estimator(self):
+        assert as_spec(HBOS(n_bins=4))["params"]["n_bins"] == 4
+
+
+class TestCanonicalForm:
+    def test_key_order_independent(self):
+        a = {"type": "HBOS", "params": {"n_bins": 5, "contamination": 0.1}}
+        b = {"params": {"contamination": 0.1, "n_bins": 5}, "type": "HBOS"}
+        assert canonical_spec(a) == canonical_spec(b)
+        assert spec_key(a) == spec_key(b)
+
+    def test_param_change_changes_key(self):
+        a = {"type": "HBOS", "params": {"n_bins": 5}}
+        b = {"type": "HBOS", "params": {"n_bins": 6}}
+        assert spec_key(a) != spec_key(b)
+
+    def test_omitted_params_equals_empty_params(self):
+        assert canonical_spec({"type": "HBOS"}) \
+            == canonical_spec({"type": "HBOS", "params": {}})
+
+    def test_nested_omitted_params_normalised(self):
+        a = {"type": "Pipeline", "params": {"steps": [
+            ["det", {"type": "HBOS"}]]}}
+        b = {"type": "Pipeline", "params": {"steps": [
+            ["det", {"type": "HBOS", "params": {}}]]}}
+        assert canonical_spec(a) == canonical_spec(b)
+
+    def test_default_constructed_estimator_matches_bare_name(self):
+        # One configuration, one canonical form: a registry name, its
+        # explicit empty spec, and a live default-constructed estimator
+        # must share cache keys and labels.
+        from repro.detectors import HBOS
+
+        assert to_spec(HBOS()) == {"type": "HBOS", "params": {}}
+        assert canonical_spec(to_spec(HBOS())) \
+            == canonical_spec(as_spec("HBOS"))
+
+    def test_non_default_params_survive_to_spec(self):
+        spec = to_spec(HBOS(n_bins=5))
+        assert spec["params"] == {"n_bins": 5}
+
+
+class TestLoadSpec:
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"type": "HBOS",
+                                    "params": {"n_bins": 7}}))
+        det = build_spec(load_spec(path))
+        assert det.n_bins == 7
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_spec(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError, match="cannot read"):
+            load_spec(path)

@@ -9,6 +9,7 @@ from repro.experiments.harness import (
     run_grid,
     run_single,
     run_variant,
+    spec_label,
 )
 
 FAST = {"n_iterations": 2,
@@ -137,3 +138,62 @@ class TestExperimentRunner:
     def test_invalid_n_jobs(self):
         with pytest.raises(ValueError):
             ExperimentRunner(n_jobs=0)
+
+
+class TestSpecCells:
+    def test_name_and_equivalent_spec_match_exactly(self, tiny_dataset):
+        by_name = run_single(tiny_dataset, "IForest", seed=0, **FAST)
+        by_spec = run_single(tiny_dataset,
+                             {"type": "IForest", "params": {}},
+                             seed=0, **FAST)
+        assert by_spec == by_name  # including the bare-name label
+
+    def test_live_default_estimator_labels_as_bare_name(self, tiny_dataset):
+        from repro.detectors import HBOS
+
+        by_name = run_single(tiny_dataset, "HBOS", seed=0, **FAST)
+        by_instance = run_single(tiny_dataset, HBOS(), seed=0, **FAST)
+        assert by_instance == by_name
+
+    def test_parameterised_spec_gets_hash_label(self, tiny_dataset):
+        spec = {"type": "HBOS", "params": {"n_bins": 4}}
+        result = run_single(tiny_dataset, spec, seed=0, **FAST)
+        assert result.detector.startswith("HBOS@")
+        assert spec_label(spec) == result.detector
+
+    def test_pipeline_spec_as_source(self, tiny_dataset):
+        spec = {"type": "Pipeline", "params": {"steps": [
+            ["scaler", {"type": "MinMaxScaler", "params": {}}],
+            ["det", {"type": "HBOS", "params": {}}],
+        ]}}
+        result = run_single(tiny_dataset, spec, seed=0, **FAST)
+        assert result.detector.startswith("Pipeline@")
+        assert 0.0 <= result.booster_auc <= 1.0
+
+    def test_grid_mixes_names_and_specs(self, tiny_dataset):
+        results = run_grid(
+            detectors=("HBOS", {"type": "HBOS", "params": {"n_bins": 4}}),
+            datasets=(tiny_dataset,), seeds=(0,), **FAST)
+        assert [r.detector for r in results][0] == "HBOS"
+        assert results[1].detector.startswith("HBOS@")
+
+    def test_cache_key_is_canonical_spec(self, tiny_dataset, tmp_path):
+        # A name and its explicit-spec twin share one cache entry; a
+        # parameter change is a miss.
+        run_grid(detectors=("HBOS",), datasets=(tiny_dataset,), seeds=(0,),
+                 cache_dir=tmp_path, **FAST)
+        messages = []
+        run_grid(detectors=({"type": "HBOS", "params": {}},),
+                 datasets=(tiny_dataset,), seeds=(0,), cache_dir=tmp_path,
+                 progress=messages.append, **FAST)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert "[cached]" in messages[0]
+        run_grid(detectors=({"type": "HBOS", "params": {"n_bins": 4}},),
+                 datasets=(tiny_dataset,), seeds=(0,), cache_dir=tmp_path,
+                 **FAST)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_unknown_spec_type_raises(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            run_grid(detectors=("NotAModel",), datasets=(tiny_dataset,),
+                     seeds=(0,), **FAST)

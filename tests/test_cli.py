@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -241,3 +242,159 @@ class TestServe:
         code, text = run_cli("serve", str(tmp_path / "nothing"))
         assert code == 2
         assert "error:" in text
+
+
+class TestJsonListings:
+    def test_list_models_json(self):
+        code, text = run_cli("list-models", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert len(payload["paper"]) == 14
+        assert len(payload["extra"]) == 6
+        assert "IForest" in payload["paper"]
+        assert "ABOD" in payload["extra"]
+
+    def test_list_datasets_json(self):
+        code, text = run_cli("list-datasets", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert len(payload) == 84
+        assert {"name", "anomaly_rate", "n_samples", "n_features",
+                "category"} <= set(payload[0])
+
+    def test_list_datasets_json_category_filter(self):
+        code, text = run_cli("list-datasets", "--json",
+                             "--category", "Web")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload and all(d["category"] == "Web" for d in payload)
+
+
+PIPELINE_SPEC = {"type": "Pipeline", "params": {"steps": [
+    ["scaler", {"type": "StandardScaler", "params": {}}],
+    ["detector", {"type": "IForest", "params": {}}],
+    ["booster", {"type": "UADBooster",
+                 "params": {"n_iterations": 2, "hidden": 16,
+                            "epochs_per_iteration": 2}}],
+]}}
+
+
+class TestSpecFlag:
+    def _write(self, tmp_path, spec, name="spec.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_boost_detector_spec(self, tmp_path):
+        spec = self._write(tmp_path, {"type": "HBOS",
+                                      "params": {"n_bins": 5}})
+        code, text = run_cli("boost", "glass", "--spec", spec,
+                             "--iterations", "2", "--max-samples", "150",
+                             "--max-features", "6")
+        assert code == 0
+        assert "detector  : HBOS" in text
+        assert "UADB" in text
+
+    def test_boost_pipeline_spec_saves_and_scores(self, tmp_path):
+        spec = self._write(tmp_path, PIPELINE_SPEC)
+        target = tmp_path / "model"
+        code, text = run_cli("boost", "glass", "--spec", spec,
+                             "--max-samples", "150", "--max-features", "6",
+                             "--save", str(target))
+        assert code == 0
+        assert "pipeline  : Pipeline" in text
+        assert "scaler -> detector -> booster" in text
+
+        from repro.serving import load_model
+        manifest = json.loads((target / "manifest.json").read_text())
+        assert manifest["kind"] == "Pipeline"
+        assert manifest["spec"]["type"] == "Pipeline"
+        assert load_model(target).scores_ is not None
+
+    def test_boost_iterations_routes_to_pipeline_booster(self, tmp_path):
+        spec = self._write(tmp_path, PIPELINE_SPEC)
+        target = tmp_path / "model"
+        code, _ = run_cli("boost", "glass", "--spec", spec,
+                          "--iterations", "3", "--max-samples", "150",
+                          "--max-features", "6", "--save", str(target))
+        assert code == 0
+        manifest = json.loads((target / "manifest.json").read_text())
+        steps = dict((name, s) for name, s in
+                     manifest["spec"]["params"]["steps"])
+        assert steps["booster"]["params"]["n_iterations"] == 3
+
+    def test_boost_iterations_noted_without_booster_step(self, tmp_path):
+        spec = self._write(tmp_path, {"type": "Pipeline", "params": {
+            "steps": [["det", {"type": "HBOS", "params": {}}]]}})
+        code, text = run_cli("boost", "glass", "--spec", spec,
+                             "--iterations", "3", "--max-samples", "150",
+                             "--max-features", "6")
+        assert code == 0
+        assert "--iterations ignored" in text
+
+    def test_load_score_pipeline_uses_raw_features(self, tmp_path):
+        # Pipelines were fitted (and fingerprinted) on raw features;
+        # load-score must not standardise on top of the pipeline's own
+        # scaler (that double-scaling silently corrupted scores).
+        spec = self._write(tmp_path, PIPELINE_SPEC)
+        target = tmp_path / "model"
+        code, boost_text = run_cli(
+            "boost", "glass", "--spec", spec, "--max-samples", "150",
+            "--max-features", "6", "--save", str(target))
+        assert code == 0
+        code, text = run_cli("load-score", str(target), "glass",
+                             "--max-samples", "150", "--max-features", "6")
+        assert code == 0
+        assert "data fingerprint: match" in text
+        boosted = boost_text.split("AUCROC=")[1].split()[0]
+        assert f"AUCROC={boosted}" in text
+
+    def test_boost_requires_exactly_one_source(self, tmp_path):
+        code, text = run_cli("boost", "glass")
+        assert code == 2 and "exactly one" in text
+        spec = self._write(tmp_path, {"type": "HBOS", "params": {}})
+        code, text = run_cli("boost", "HBOS", "glass", "--spec", spec)
+        assert code == 2 and "exactly one" in text
+
+    def test_boost_rejects_non_source_spec(self, tmp_path):
+        spec = self._write(tmp_path, {"type": "UADBooster", "params": {}})
+        code, text = run_cli("boost", "glass", "--spec", spec,
+                             "--max-samples", "150", "--max-features", "6")
+        assert code == 2
+        assert "source-detector contract" in text
+
+    def test_boost_bad_spec_file(self, tmp_path):
+        code, text = run_cli("boost", "glass", "--spec",
+                             str(tmp_path / "missing.json"))
+        assert code == 2
+        assert "error:" in text
+
+    def test_save_with_spec(self, tmp_path):
+        spec = self._write(tmp_path, {"type": "HBOS",
+                                      "params": {"n_bins": 5}})
+        target = tmp_path / "model"
+        code, text = run_cli("save", "glass", str(target), "--spec", spec,
+                             "--max-samples", "150", "--max-features", "6")
+        assert code == 0
+        manifest = json.loads((target / "manifest.json").read_text())
+        assert manifest["kind"] == "HBOS"
+        assert manifest["spec"]["params"]["n_bins"] == 5
+
+    def test_sweep_with_spec_column(self, tmp_path):
+        spec = self._write(tmp_path, {"type": "HBOS",
+                                      "params": {"n_bins": 4}})
+        code, text = run_cli("sweep", "--models", "HBOS",
+                             "--spec", spec, "--datasets", "glass",
+                             "--iterations", "2", "--max-samples", "150",
+                             "--max-features", "6")
+        assert code == 0
+        assert "= 2 cells" in text
+        assert "HBOS@" in text
+
+    def test_sweep_spec_only(self, tmp_path):
+        spec = self._write(tmp_path, {"type": "HBOS", "params": {}})
+        code, text = run_cli("sweep", "--spec", spec,
+                             "--datasets", "glass", "--iterations", "2",
+                             "--max-samples", "150", "--max-features", "6")
+        assert code == 0
+        assert "1 models" in text
