@@ -15,6 +15,10 @@ Public API highlights
 * :mod:`repro.experiments` — harness + per-table/figure reproduction.
 * :mod:`repro.serving` — versioned model artifacts, micro-batched scoring
   service, HTTP server.
+* :mod:`repro.kernels` — the shared neighbor-kernel backend: memoized
+  k-NN graphs (:func:`~repro.kernels.cache_stats`), threaded distance
+  blocks (:func:`~repro.kernels.set_num_threads` /
+  ``REPRO_NUM_THREADS`` / ``repro --threads``).
 
 Quickstart
 ----------
@@ -31,9 +35,10 @@ from repro.api import Pipeline, build_spec, clone, make_component, to_spec
 from repro.core import UADBooster
 from repro.data import Dataset, load_dataset, make_anomaly_dataset
 from repro.detectors import DETECTOR_NAMES, make_detector
+from repro.kernels import cache_stats, set_num_threads
 from repro.metrics import auc_roc, average_precision
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "UADBooster",
@@ -49,5 +54,7 @@ __all__ = [
     "clone",
     "auc_roc",
     "average_precision",
+    "cache_stats",
+    "set_num_threads",
     "__version__",
 ]

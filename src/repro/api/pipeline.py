@@ -22,6 +22,12 @@ Steps are ``(name, estimator)`` pairs classified by capability:
 ``fit`` chains them: transformed features go to the detector, the
 detector's training scores seed the booster, and the terminal step
 (booster if present, else detector) answers all scoring calls.
+
+Neighbor-based detector steps (KNN / LOF / COF / SOD / ABOD) fit through
+the process-wide :mod:`repro.kernels` cache: pipelines whose transformer
+steps produce byte-identical features — e.g. several pipelines over the
+same ``StandardScaler`` output, or a clone refit — reuse one k-NN graph
+instead of rebuilding it per pipeline.
 """
 
 from __future__ import annotations

@@ -18,6 +18,11 @@ save                   fit a source detector (name or ``--spec``) and
                        persist it as an artifact
 load-score             load a saved artifact and score a dataset with it
 serve                  serve saved models over a JSON HTTP API
+
+The global ``--threads N`` flag sets the worker-thread count of the
+shared neighbor-kernel backend (:mod:`repro.kernels`) for any command;
+``REPRO_NUM_THREADS`` is the environment equivalent.  Thread count never
+changes results.
 """
 
 from __future__ import annotations
@@ -54,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument("--threads", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker threads for the shared distance "
+                             "kernels (default: REPRO_NUM_THREADS env "
+                             "var, then the CPU count); results are "
+                             "identical for any value")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list-models", help="list available detectors")
@@ -147,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-micro-batch", action="store_true",
                    help="score each request individually (diagnostic; "
                         "micro-batching is the fast default)")
+    # --threads also parses after the subcommand (`repro sweep --jobs 4
+    # --threads 2`), where users co-locate it with --jobs; SUPPRESS
+    # keeps an absent subcommand flag from clobbering a root-position
+    # value.
+    for sp in sub.choices.values():
+        sp.add_argument("--threads", type=_positive_int,
+                        default=argparse.SUPPRESS, metavar="N",
+                        help="worker threads for the shared distance "
+                             "kernels (same as the global --threads)")
     return parser
 
 
@@ -415,6 +435,7 @@ def _cmd_sweep(args, out) -> int:
             progress=progress,
             n_jobs=args.jobs,
             cache_dir=args.cache_dir,
+            num_threads=args.threads,
         )
     except (ValueError, KeyError) as exc:
         # KeyError: unknown detector/dataset name from the registries.
@@ -466,6 +487,10 @@ def main(argv=None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.threads is not None:
+        from repro.kernels import set_num_threads
+
+        set_num_threads(args.threads)
     return _COMMANDS[args.command](args, out)
 
 

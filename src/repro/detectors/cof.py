@@ -5,6 +5,15 @@ distance along the set-based nearest path (SBN-path) through a point's
 k-neighbourhood.  Points whose chaining distance is large relative to their
 neighbours' are anomalies in low-density *patterns* (e.g. lines), which pure
 density methods miss.  PyOD default: ``k=20``.
+
+Chaining runs in one of two engines producing bit-identical scores:
+
+* ``"vectorized"`` (default) — every row's SBN-path is grown in lockstep
+  over the stacked ``(n, k+1, k+1)`` neighborhood distance tensor: one
+  batched Prim step (argmin + relax) per path position instead of a
+  Python loop per row.
+* ``"reference"`` — the original one-row-at-a-time loop, kept as the
+  parity oracle.
 """
 
 from __future__ import annotations
@@ -12,9 +21,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
-from repro.detectors.neighbors import kneighbors, pairwise_distances
+from repro.kernels import cached_kneighbors, pairwise_distances
 
 __all__ = ["COF"]
+
+_ENGINES = ("vectorized", "reference")
+
+# Element budget for the blocked vectorized tensors (tests shrink it to
+# force multi-block runs; blocking never changes results).
+_BLOCK_ELEMENTS = 2**22
 
 
 def _average_chaining_distance(points: np.ndarray) -> float:
@@ -45,6 +60,42 @@ def _average_chaining_distance(points: np.ndarray) -> float:
     return total
 
 
+def _batched_chaining_distances(P: np.ndarray) -> np.ndarray:
+    """Average chaining distance of every stacked path in ``P`` (n, r, d).
+
+    The greedy SBN construction is inherently sequential *along the
+    path*, but independent *across rows* — so the loop runs over the
+    ``r - 1`` path positions (a handful) and each step is one batched
+    argmin/relax over all rows.  Mirrors the scalar kernel operation for
+    operation (same distance expansion, same accumulation order), so the
+    result is bit-identical to looping `_average_chaining_distance`.
+    """
+    n, r, _ = P.shape
+    if r < 2:
+        return np.zeros(n)
+    sq = np.einsum("nrd,nrd->nr", P, P)
+    gram = np.matmul(P, P.transpose(0, 2, 1))
+    dist = sq[:, :, None] + sq[:, None, :] - 2.0 * gram
+    np.maximum(dist, 0.0, out=dist)
+    np.sqrt(dist, out=dist)
+
+    rows = np.arange(n)
+    in_set = np.zeros((n, r), dtype=bool)
+    in_set[:, 0] = True
+    best = dist[:, 0, :].copy()
+    best[:, 0] = np.inf
+    total = np.zeros(n)
+    for i in range(1, r):
+        nxt = np.argmin(best, axis=1)
+        cost = best[rows, nxt]
+        weight = 2.0 * (r - i) / (r * (r - 1))
+        total += weight * cost
+        in_set[rows, nxt] = True
+        np.minimum(best, dist[rows, nxt], out=best)
+        best[in_set] = np.inf
+    return total
+
+
 class COF(BaseDetector):
     """Connectivity-based outlier factor.
 
@@ -54,13 +105,19 @@ class COF(BaseDetector):
         Neighbourhood size ``k``.
     contamination : float
         See :class:`BaseDetector`.
+    engine : {'vectorized', 'reference'}
+        Batched chaining (default) or the per-row loop; identical scores.
     """
 
-    def __init__(self, n_neighbors: int = 20, contamination: float = 0.1):
+    def __init__(self, n_neighbors: int = 20, contamination: float = 0.1,
+                 engine: str = "vectorized"):
         super().__init__(contamination=contamination)
         if n_neighbors < 1:
             raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.n_neighbors = n_neighbors
+        self.engine = engine
         self._X_train = None
         self._train_ac_dist = None
         self._train_neighbors = None
@@ -68,15 +125,34 @@ class COF(BaseDetector):
     def _effective_k(self) -> int:
         return min(self.n_neighbors, self._X_train.shape[0] - 1)
 
+    def _ac_dists(self, X: np.ndarray, reference: np.ndarray,
+                  idx: np.ndarray) -> np.ndarray:
+        """Average chaining distance of every row's SBN-path."""
+        if self.engine == "reference":
+            ac = np.empty(X.shape[0])
+            for i in range(X.shape[0]):
+                path_points = np.vstack([X[i:i + 1], reference[idx[i]]])
+                ac[i] = _average_chaining_distance(path_points)
+            return ac
+        n = X.shape[0]
+        r = idx.shape[1] + 1
+        ac = np.empty(n)
+        # Row blocks bound the (block, r, r) neighborhood distance
+        # tensors at ~2^22 elements; rows chain independently, so
+        # blocking cannot change any row's result.
+        block = max(1, _BLOCK_ELEMENTS // (r * r))
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            P = np.concatenate([X[start:stop, None, :],
+                                reference[idx[start:stop]]], axis=1)
+            ac[start:stop] = _batched_chaining_distances(P)
+        return ac
+
     def _fit(self, X):
         self._X_train = X.copy()
         k = self._effective_k()
-        _, idx = kneighbors(X, X, k, exclude_self=True)
-        n = X.shape[0]
-        ac = np.empty(n)
-        for i in range(n):
-            path_points = np.vstack([X[i:i + 1], X[idx[i]]])
-            ac[i] = _average_chaining_distance(path_points)
+        _, idx = cached_kneighbors(X, X, k, exclude_self=True)
+        ac = self._ac_dists(X, X, idx)
         self._train_ac_dist = np.maximum(ac, 1e-12)
         self._train_neighbors = idx
         neighbor_ac = self._train_ac_dist[idx]
@@ -84,11 +160,13 @@ class COF(BaseDetector):
 
     def _decision_function(self, X):
         k = self._effective_k()
-        _, idx = kneighbors(X, self._X_train, k)
-        scores = np.empty(X.shape[0])
-        for i in range(X.shape[0]):
-            path_points = np.vstack([X[i:i + 1], self._X_train[idx[i]]])
-            ac = _average_chaining_distance(path_points)
-            neighbor_ac = self._train_ac_dist[idx[i]].sum()
-            scores[i] = ac * k / max(neighbor_ac, 1e-12)
-        return scores
+        _, idx = cached_kneighbors(X, self._X_train, k)
+        ac = self._ac_dists(X, self._X_train, idx)
+        neighbor_ac = self._train_ac_dist[idx].sum(axis=1)
+        return ac * k / np.maximum(neighbor_ac, 1e-12)
+
+    def set_state(self, state: dict) -> "COF":
+        super().set_state(state)
+        # Artifacts saved by repro <= 1.2 predate the engine parameter.
+        self.__dict__.setdefault("engine", "vectorized")
+        return self

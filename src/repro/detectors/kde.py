@@ -13,9 +13,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
-from repro.detectors.neighbors import pairwise_distances
+from repro.kernels import neighbor_cache, pairwise_distances
 
 __all__ = ["KDE"]
+
+# Self-distance matrices are only parked in the process-wide cache up to
+# this many bytes (8 n^2 per matrix); larger ones stay transient so a
+# user-raised ``max_train`` cannot pin gigabytes for the process
+# lifetime.  64 MiB covers n <= ~2896 — comfortably the default
+# ``max_train=2000``.
+_CACHE_MATRIX_MAX_BYTES = 2**26
 
 
 class KDE(BaseDetector):
@@ -52,7 +59,15 @@ class KDE(BaseDetector):
         Z = (X - self._mean) / self._scale
         ref = self._X_kde
         d = Z.shape[1]
-        dist_sq = pairwise_distances(Z, ref) ** 2
+        if (exclude_self
+                and 8 * Z.shape[0] * Z.shape[0] <= _CACHE_MATRIX_MAX_BYTES):
+            # Scoring the training matrix against itself: the distance
+            # matrix is a self-block, shared through the process-wide
+            # neighbor cache (refits and parity runs hit for free).
+            dist = neighbor_cache.pairwise(Z)
+        else:
+            dist = pairwise_distances(Z, ref)
+        dist_sq = dist ** 2
         log_kernel = -0.5 * dist_sq / self._h**2
         if exclude_self:
             # Remove each training point's own zero-distance kernel term.

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import BaseDetector
-from repro.detectors.neighbors import kneighbors
+from repro.kernels import cached_kneighbors as kneighbors
 
 __all__ = ["KNN"]
 

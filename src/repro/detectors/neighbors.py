@@ -1,78 +1,14 @@
-"""Brute-force nearest-neighbour search shared by LOF / KNN / COF / SOD.
+"""Backward-compatible re-export of the shared neighbor kernels.
 
-Benchmark datasets are capped at a few thousand rows, so an exact chunked
-O(n^2) search is both simplest and fast enough; chunking bounds the memory
-of the pairwise-distance block.
+The brute-force search that lived here moved to :mod:`repro.kernels`
+(chunked + threaded blocks, exact-recompute neighbor distances, and the
+process-wide :class:`~repro.kernels.cache.NeighborCache`).  Importing
+``pairwise_distances`` / ``kneighbors`` from this module keeps working
+and resolves to the same kernels every detector now uses.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.kernels import kneighbors, pairwise_distances
 
 __all__ = ["pairwise_distances", "kneighbors"]
-
-
-def pairwise_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
-    """Euclidean distance matrix between rows of ``A`` and rows of ``B``."""
-    A = np.asarray(A, dtype=np.float64)
-    B = np.asarray(B, dtype=np.float64)
-    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
-        raise ValueError(
-            f"A and B must be 2-d with equal width, got {A.shape} and {B.shape}"
-        )
-    sq = (
-        np.sum(A**2, axis=1)[:, None]
-        + np.sum(B**2, axis=1)[None, :]
-        - 2.0 * (A @ B.T)
-    )
-    np.maximum(sq, 0.0, out=sq)
-    return np.sqrt(sq)
-
-
-def kneighbors(query: np.ndarray, reference: np.ndarray, k: int,
-               exclude_self: bool = False, chunk_size: int = 1024):
-    """The ``k`` nearest reference rows for every query row.
-
-    Parameters
-    ----------
-    query, reference : ndarray
-        Row matrices with matching widths.
-    k : int
-        Number of neighbours to return.
-    exclude_self : bool
-        When querying a set against itself, skip the zero-distance match of
-        each point with itself (the standard convention for LOF/KNN training
-        scores).  Implemented positionally: row ``i`` of the query ignores
-        row ``i`` of the reference.
-    chunk_size : int
-        Number of query rows processed per distance block.
-
-    Returns
-    -------
-    (distances, indices) : ndarrays of shape (n_query, k)
-        Sorted ascending by distance.
-    """
-    query = np.asarray(query, dtype=np.float64)
-    reference = np.asarray(reference, dtype=np.float64)
-    n_ref = reference.shape[0]
-    max_k = n_ref - 1 if exclude_self else n_ref
-    if not 1 <= k <= max_k:
-        raise ValueError(
-            f"k must be in [1, {max_k}] for {n_ref} reference rows "
-            f"(exclude_self={exclude_self}), got {k}"
-        )
-    n_query = query.shape[0]
-    distances = np.empty((n_query, k))
-    indices = np.empty((n_query, k), dtype=np.int64)
-    for start in range(0, n_query, chunk_size):
-        stop = min(start + chunk_size, n_query)
-        block = pairwise_distances(query[start:stop], reference)
-        if exclude_self:
-            rows = np.arange(start, stop)
-            block[np.arange(stop - start), rows] = np.inf
-        part = np.argpartition(block, k - 1, axis=1)[:, :k]
-        part_dist = np.take_along_axis(block, part, axis=1)
-        order = np.argsort(part_dist, axis=1, kind="mergesort")
-        indices[start:stop] = np.take_along_axis(part, order, axis=1)
-        distances[start:stop] = np.take_along_axis(part_dist, order, axis=1)
-    return distances, indices

@@ -12,6 +12,14 @@ paper's Table IV / Table V / Figs 7-10.
 
 Cells are deterministic given their seed, so the parallel runner returns
 results identical to a serial sweep, in the same grid order.
+
+Neighbor-based detector cells (KNN / LOF / COF / SOD / ABOD) share one
+k-NN graph per dataset through the process-wide
+:mod:`repro.kernels` cache: every cell standardizes the same dataset to
+the same bytes, so the first neighbor cell builds the graph and the rest
+hit (observable via :func:`repro.kernels.cache_stats`).  ``num_threads``
+forwards the kernel thread count into pool workers, which do not inherit
+a parent's :func:`repro.kernels.set_num_threads` call.
 """
 
 from __future__ import annotations
@@ -182,8 +190,29 @@ def _resolve_datasets(datasets, max_samples: int,
     return resolved
 
 
+def _default_worker_threads(n_jobs: int):
+    """Kernel threads per pool worker when nothing is configured.
+
+    Without this, every worker resolves the ambient default — the full
+    CPU count — and a parallel grid oversubscribes ``n_jobs x cores``
+    GEMM threads.  Splitting the cores keeps the pool the outer level
+    of parallelism.  Explicit configuration (``num_threads``,
+    :func:`repro.kernels.set_num_threads`, ``REPRO_NUM_THREADS``) wins.
+    """
+    from repro.kernels.threading import get_configured_num_threads
+
+    if (get_configured_num_threads() is not None
+            or os.environ.get("REPRO_NUM_THREADS", "").strip()):
+        return None
+    return max(1, (os.cpu_count() or 1) // n_jobs)
+
+
 def _execute_cell(spec: dict) -> RunResult:
     """Run one grid cell from its picklable spec (process-pool worker)."""
+    if spec.get("num_threads") is not None:
+        from repro.kernels import set_num_threads
+
+        set_num_threads(spec["num_threads"])
     return run_single(
         spec["dataset"], spec["detector"],
         n_iterations=spec["n_iterations"], seed=spec["seed"],
@@ -211,6 +240,13 @@ class ExperimentRunner:
     progress : callable or None
         Called with a one-line status string after every cell, including
         a ``[done/total]`` counter; cached cells are flagged.
+    num_threads : int or None
+        Worker-thread count for the shared neighbor kernels
+        (:func:`repro.kernels.set_num_threads`), applied for the
+        duration of the grid in this process and in every pool worker;
+        the caller's configuration is restored when the grid returns.
+        ``None`` keeps the ambient setting (``REPRO_NUM_THREADS``, then
+        the CPU count).  Never changes results.
 
     Examples
     --------
@@ -219,9 +255,12 @@ class ExperimentRunner:
     ...                           datasets=("glass", "cardio"), seeds=(0, 1))
     """
 
-    _CACHE_VERSION = 2
+    # 3: PR-4 exact-recompute neighbor kernels shift KNN/LOF/COF/SOD
+    # scores at the ulp level, so pre-PR4 cached cells must not hit.
+    _CACHE_VERSION = 3
 
-    def __init__(self, n_jobs: int = 1, cache_dir=None, progress=None):
+    def __init__(self, n_jobs: int = 1, cache_dir=None, progress=None,
+                 num_threads: int | None = None):
         if int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         self.n_jobs = int(n_jobs)
@@ -231,6 +270,10 @@ class ExperimentRunner:
             raise ValueError(
                 f"cache_dir is not a directory: {self.cache_dir}")
         self.progress = progress
+        if num_threads is not None and int(num_threads) < 1:
+            raise ValueError(
+                f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = None if num_threads is None else int(num_threads)
 
     def run_grid(self, detectors=DETECTOR_NAMES,
                  datasets=DEFAULT_BENCH_DATASETS, seeds=(0,),
@@ -243,11 +286,20 @@ class ExperimentRunner:
         (arbitrary configurations, whole pipelines), or live estimators —
         everything normalises through :func:`repro.api.as_spec`.
         """
+        worker_threads = self.num_threads
+        if worker_threads is None and self.n_jobs > 1:
+            worker_threads = _default_worker_threads(self.n_jobs)
+        restore_threads = worker_threads is not None
+        if restore_threads:
+            from repro.kernels.threading import get_configured_num_threads
+
+            prior_threads = get_configured_num_threads()
         resolved = _resolve_datasets(datasets, max_samples, max_features)
         det_specs = [as_spec(det) for det in detectors]
         specs = [
             {"dataset": dataset, "detector": det_spec, "seed": seed,
-             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs}
+             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs,
+             "num_threads": worker_threads}
             for dataset in resolved
             for det_spec in det_specs
             for seed in seeds
@@ -264,23 +316,32 @@ class ExperimentRunner:
             else:
                 pending.append(i)
 
-        if self.n_jobs == 1 or len(pending) <= 1:
-            for i in pending:
-                results[i] = _execute_cell(specs[i])
-                self._cache_store(specs[i], results[i])
-                done += 1
-                self._report(results[i], done, len(specs))
-        else:
-            workers = min(self.n_jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_cell, specs[i]): i
-                           for i in pending}
-                for future in as_completed(futures):
-                    i = futures[future]
-                    results[i] = future.result()
+        try:
+            if self.n_jobs == 1 or len(pending) <= 1:
+                for i in pending:
+                    results[i] = _execute_cell(specs[i])
                     self._cache_store(specs[i], results[i])
                     done += 1
                     self._report(results[i], done, len(specs))
+            else:
+                workers = min(self.n_jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {pool.submit(_execute_cell, specs[i]): i
+                               for i in pending}
+                    for future in as_completed(futures):
+                        i = futures[future]
+                        results[i] = future.result()
+                        self._cache_store(specs[i], results[i])
+                        done += 1
+                        self._report(results[i], done, len(specs))
+        finally:
+            # Serial cells apply num_threads in this process (via
+            # _execute_cell); the grid must not leak that setting into
+            # the caller's process-global kernel configuration.
+            if restore_threads:
+                from repro.kernels import set_num_threads
+
+                set_num_threads(prior_threads)
         return results
 
     # -- progress -----------------------------------------------------------
@@ -347,7 +408,8 @@ class ExperimentRunner:
 def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
              seeds=(0,), n_iterations: int = 10, max_samples: int = 600,
              max_features: int = 32, booster_kwargs: dict | None = None,
-             progress=None, n_jobs: int = 1, cache_dir=None) -> list:
+             progress=None, n_jobs: int = 1, cache_dir=None,
+             num_threads: int | None = None) -> list:
     """Run the full detector x dataset x seed grid.
 
     Parameters
@@ -368,6 +430,8 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
         deterministic, so any ``n_jobs`` produces identical results.
     cache_dir : str, Path, or None
         On-disk :class:`RunResult` cache (see :class:`ExperimentRunner`).
+    num_threads : int or None
+        Kernel worker threads (see :class:`ExperimentRunner`).
 
     Returns
     -------
@@ -375,7 +439,7 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
         In grid order: datasets outermost, then detectors, then seeds.
     """
     runner = ExperimentRunner(n_jobs=n_jobs, cache_dir=cache_dir,
-                              progress=progress)
+                              progress=progress, num_threads=num_threads)
     return runner.run_grid(
         detectors=detectors, datasets=datasets, seeds=seeds,
         n_iterations=n_iterations, max_samples=max_samples,

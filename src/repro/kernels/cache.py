@@ -1,0 +1,251 @@
+"""Fingerprint-keyed memoization of k-NN graphs and distance matrices.
+
+Every neighbor-based detector in the bank (KNN, LOF, COF, SOD, ABOD) fits
+on the *same* standardized matrix, yet each used to rebuild the full
+O(n^2) neighbor graph from scratch.  :class:`NeighborCache` makes the
+graph a shared, process-wide asset:
+
+* **Content keys** — datasets are identified by a SHA-256 fingerprint of
+  their bytes (shape + dtype + data), so the cache is shared across
+  detectors, :class:`~repro.experiments.harness.ExperimentRunner` cells,
+  :class:`~repro.api.Pipeline` steps, and
+  :class:`~repro.serving.service.ScoringService` models within a process,
+  and is immune to aliasing (equal content hits, any change misses).
+* **Monotone in k, one graph per dataset** — an unmasked graph is built
+  once at ``k_build = max(k(+1), min_k + 1)`` (capped by ``n``) and
+  every smaller-k query — include-self *or* exclude-self — is answered
+  by slicing, which is exact because neighbor selection and order are a
+  pure deterministic function of each distance row (see
+  :mod:`repro.kernels.distance`).  With the default ``min_k=20`` — the
+  largest default ``n_neighbors`` across the registry detectors — one
+  build serves the whole bank.
+* **Observable** — ``hits`` / ``misses`` / ``builds`` / ``evictions``
+  counters are surfaced through :func:`repro.kernels.cache_stats`;
+  ``builds`` splits into ``graph_builds`` and ``matrix_builds`` (KDE's
+  self-distance matrices share the cache), so the acceptance bar "one
+  k-NN graph build per dataset fingerprint" is testable directly from
+  ``graph_builds``.
+
+Entries are bounded by LRU eviction (``max_graphs`` graphs,
+``max_matrices`` full distance matrices — the matrices are the memory
+hogs at 8 n^2 bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.kernels.distance import kneighbors, pairwise_distances
+
+__all__ = ["NeighborCache", "fingerprint"]
+
+
+def fingerprint(X: np.ndarray) -> str:
+    """Content hash of an array: dtype, shape, and raw bytes."""
+    X = np.ascontiguousarray(X)
+    digest = hashlib.sha256()
+    digest.update(str(X.dtype).encode())
+    digest.update(str(X.shape).encode())
+    digest.update(X.tobytes())
+    return digest.hexdigest()
+
+
+class NeighborCache:
+    """Process-wide memo of self k-NN graphs and self-distance matrices.
+
+    Parameters
+    ----------
+    max_graphs : int
+        k-NN graphs kept (LRU eviction beyond it).  Graphs are small —
+        ``O(n k)``, under a megabyte at n=2000 — so the default is
+        generous enough for a full feature-bagged ensemble (whose
+        members each fit a distinct feature-subset matrix).
+    max_matrices : int
+        Full ``(n, n)`` self-distance matrices kept (8 n^2 bytes each —
+        these are the memory hogs).
+    min_k : int
+        Build floor: the first query for a dataset builds its graph with
+        at least this many neighbours (plus one for the self entry) so
+        later, larger default-``k`` queries still hit.  20 covers every
+        registry detector default.
+    """
+
+    def __init__(self, max_graphs: int = 32, max_matrices: int = 2,
+                 min_k: int = 20):
+        if max_graphs < 1 or max_matrices < 1:
+            raise ValueError("cache capacities must be >= 1")
+        if min_k < 1:
+            raise ValueError(f"min_k must be >= 1, got {min_k}")
+        self.max_graphs = max_graphs
+        self.max_matrices = max_matrices
+        self.min_k = min_k
+        #: When False, every query recomputes directly and the counters
+        #: stay frozen (benchmarks use this for the uncached baseline).
+        self.enabled = True
+        self._graphs: OrderedDict = OrderedDict()
+        self._matrices: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        # Per-key events deduplicating concurrent builds: the first
+        # misser builds, later missers of the same key wait and then
+        # serve from the cache ("one build per fingerprint" holds under
+        # concurrency too).
+        self._in_flight: dict = {}
+        self._stats = {"hits": 0, "misses": 0, "builds": 0,
+                       "graph_builds": 0, "matrix_builds": 0,
+                       "evictions": 0}
+
+    # -- k-NN graphs ------------------------------------------------------
+    def kneighbors(self, X: np.ndarray, k: int, exclude_self: bool = True,
+                   chunk_size: int = 1024, _fp: str | None = None):
+        """Cached ``kneighbors(X, X, k, exclude_self)``.
+
+        One *unmasked* graph per dataset serves both conventions: the
+        exclude-self view drops each row's own entry from the ranking,
+        which is exactly what masking the diagonal before selection does
+        (the remaining (value, index) order is unchanged).  So a fit-time
+        exclude-self query and a scoring-time include-self query — the
+        FeatureBagging pattern — cost one build, not two.
+
+        Returns ``(distances, indices)`` copies of shape ``(n, k)``; the
+        cached graph itself is never handed out, so callers can't corrupt
+        it.  A graph built for a larger ``k`` serves every smaller ``k``
+        exactly; a larger request rebuilds (and the rebuilt graph keeps
+        the running maximum ``k``).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        max_k = n - 1 if exclude_self else n
+        if not 1 <= k <= max_k:
+            raise ValueError(
+                f"k must be in [1, {max_k}] for {n} reference rows "
+                f"(exclude_self={exclude_self}), got {k}"
+            )
+        if not self.enabled:
+            return kneighbors(X, X, k, exclude_self=exclude_self,
+                              chunk_size=chunk_size)
+        # The unmasked window must be one wider than an exclude-self
+        # request: each row's own entry may occupy one slot.
+        needed = k + 1 if exclude_self else k
+        key = _fp if _fp is not None else fingerprint(X)
+        while True:
+            with self._lock:
+                entry = self._graphs.get(key)
+                if entry is not None and entry[0] >= needed:
+                    self._graphs.move_to_end(key)
+                    self._stats["hits"] += 1
+                    hit = entry
+                    break
+                hit = None
+                pending = self._in_flight.get(("graph", key))
+                if pending is None:
+                    self._in_flight[("graph", key)] = threading.Event()
+                    self._stats["misses"] += 1
+                    prior_k = entry[0] if entry is not None else 0
+                    break
+            # Another thread is building this key: wait, then re-check
+            # the cache (if its build satisfies `needed`, that's a hit;
+            # if it failed or built a smaller k, loop and build).
+            pending.wait()
+        if hit is not None:
+            # The O(n k) view copies run outside the lock so concurrent
+            # hits don't serialize (cached tuples are never mutated,
+            # only replaced, so the captured arrays are stable).
+            return self._view(hit[1], hit[2], k, exclude_self)
+        try:
+            # Build outside the lock: the O(n^2 d) search is the slow part.
+            k_build = min(n, max(needed, self.min_k + 1, prior_k))
+            dist, idx = kneighbors(X, X, k_build, exclude_self=False,
+                                   chunk_size=chunk_size)
+            with self._lock:
+                self._stats["builds"] += 1
+                self._stats["graph_builds"] += 1
+                self._graphs[key] = (k_build, dist, idx)
+                self._graphs.move_to_end(key)
+                while len(self._graphs) > self.max_graphs:
+                    self._graphs.popitem(last=False)
+                    self._stats["evictions"] += 1
+        finally:
+            with self._lock:
+                self._in_flight.pop(("graph", key)).set()
+        return self._view(dist, idx, k, exclude_self)
+
+    @staticmethod
+    def _view(dist: np.ndarray, idx: np.ndarray, k: int,
+              exclude_self: bool):
+        """Top-``k`` copies of a cached unmasked graph, either convention."""
+        if not exclude_self:
+            return dist[:, :k].copy(), idx[:, :k].copy()
+        w_idx = idx[:, :k + 1]
+        w_dist = dist[:, :k + 1]
+        self_mask = w_idx == np.arange(w_idx.shape[0])[:, None]
+        has_self = self_mask.any(axis=1)
+        out_idx = w_idx[:, :k].copy()
+        out_dist = w_dist[:, :k].copy()
+        if np.any(has_self):
+            keep = ~self_mask[has_self]
+            out_idx[has_self] = w_idx[has_self][keep].reshape(-1, k)
+            out_dist[has_self] = w_dist[has_self][keep].reshape(-1, k)
+        return out_dist, out_idx
+
+    # -- full distance matrices -------------------------------------------
+    def pairwise(self, X: np.ndarray, chunk_size: int = 1024) -> np.ndarray:
+        """Cached self-distance matrix ``pairwise_distances(X, X)``.
+
+        Returns a read-only view of the cached matrix (copying 8 n^2
+        bytes would defeat the point); callers needing to write must copy.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if not self.enabled:
+            return pairwise_distances(X, X, chunk_size=chunk_size)
+        key = fingerprint(X)
+        while True:
+            with self._lock:
+                D = self._matrices.get(key)
+                if D is not None:
+                    self._matrices.move_to_end(key)
+                    self._stats["hits"] += 1
+                    return D
+                pending = self._in_flight.get(("matrix", key))
+                if pending is None:
+                    self._in_flight[("matrix", key)] = threading.Event()
+                    self._stats["misses"] += 1
+                    break
+            # Another thread is building this matrix: wait, then serve
+            # from the cache (or build, if that thread's build failed).
+            pending.wait()
+        try:
+            D = pairwise_distances(X, X, chunk_size=chunk_size)
+            D.setflags(write=False)
+            with self._lock:
+                self._stats["builds"] += 1
+                self._stats["matrix_builds"] += 1
+                self._matrices[key] = D
+                self._matrices.move_to_end(key)
+                while len(self._matrices) > self.max_matrices:
+                    self._matrices.popitem(last=False)
+                    self._stats["evictions"] += 1
+        finally:
+            with self._lock:
+                self._in_flight.pop(("matrix", key)).set()
+        return D
+
+    # -- introspection ----------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot plus current entry counts."""
+        with self._lock:
+            stats = dict(self._stats)
+            stats["graphs"] = len(self._graphs)
+            stats["matrices"] = len(self._matrices)
+        return stats
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._graphs.clear()
+            self._matrices.clear()
+            for key in self._stats:
+                self._stats[key] = 0

@@ -189,12 +189,21 @@ class ScoringService:
                 self._stats["max_batch_requests"] = n_requests
 
     def stats(self) -> dict:
-        """Counters proving (or disproving) coalescing: requests/batches."""
+        """Counters proving (or disproving) coalescing: requests/batches.
+
+        ``kernel_cache`` nests the process-wide neighbor-kernel cache
+        counters (:func:`repro.kernels.cache_stats`): neighbor-based
+        models served here share that cache with everything else in the
+        process, so hot-path regressions show up in one place.
+        """
+        from repro.kernels import cache_stats
+
         with self._stats_lock:
             stats = dict(self._stats)
         stats["mean_batch_requests"] = (
             stats["requests"] / stats["batches"] if stats["batches"] else 0.0
         )
+        stats["kernel_cache"] = cache_stats()
         return stats
 
     # -- scorer thread ----------------------------------------------------

@@ -84,3 +84,36 @@ class TestKneighbors:
             kneighbors(X, X, k=5, exclude_self=True)
         with pytest.raises(ValueError):
             kneighbors(X, X, k=0)
+
+
+class TestExactRecompute:
+    """The a^2+b^2-2ab expansion loses precision on near-duplicates; the
+    k winners' distances are recomputed exactly (regression for the
+    float-precision hazard)."""
+
+    def test_duplicated_rows_report_exact_zero(self, rng):
+        # Far from the origin the expansion error is magnified: without
+        # the exact recompute these duplicates report ~1e-5, not 0.0.
+        base = rng.normal(size=(20, 4)) + 1e4
+        X = np.vstack([base, base])
+        dist, idx = kneighbors(X, X, k=1, exclude_self=True)
+        np.testing.assert_array_equal(dist, np.zeros((40, 1)))
+        # Each row's nearest neighbour is its duplicate.
+        np.testing.assert_array_equal(idx.ravel() % 20, np.arange(40) % 20)
+
+    def test_near_duplicate_distances_accurate(self):
+        # Two points 1e-8 apart, 1e4 from the origin: the expansion
+        # cannot represent the gap (cancellation leaves ~1e-4 noise);
+        # the recomputed distance must be exact to double precision.
+        X = np.array([[1e4, 1e4], [1e4 + 1e-8, 1e4]])
+        true_gap = X[1, 0] - X[0, 0]  # representable gap, ~1e-8
+        dist, _ = kneighbors(X, X, k=1, exclude_self=True)
+        assert 0.0 < true_gap < 2e-8
+        np.testing.assert_array_equal(dist, np.full((2, 1), true_gap))
+
+    def test_exact_distances_match_gather(self, rng):
+        X = rng.normal(size=(50, 3))
+        dist, idx = kneighbors(X, X, k=5, exclude_self=True)
+        diff = X[:, None, :] - X[idx]
+        exact = np.sqrt(np.einsum("nkd,nkd->nk", diff, diff))
+        np.testing.assert_array_equal(dist, exact)

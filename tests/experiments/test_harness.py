@@ -197,3 +197,85 @@ class TestSpecCells:
         with pytest.raises(KeyError):
             run_grid(detectors=("NotAModel",), datasets=(tiny_dataset,),
                      seeds=(0,), **FAST)
+
+
+class TestSharedNeighborKernel:
+    def test_one_knn_build_per_dataset_fingerprint(self):
+        """The acceptance bar for the shared kernel backend: a grid over
+        the 5 neighbor-based detectors builds each dataset's k-NN graph
+        exactly once (every cell standardizes the same dataset to the
+        same bytes, so later cells hit the process-wide cache)."""
+        import repro.kernels as kernels
+
+        datasets = [
+            make_anomaly_dataset("local", n_inliers=120, n_anomalies=15,
+                                 n_features=5, random_state=seed)
+            for seed in (0, 1)
+        ]
+        kernels.clear_cache()
+        runner = ExperimentRunner(n_jobs=1)
+        results = runner.run_grid(
+            detectors=("KNN", "LOF", "COF", "SOD", "ABOD"),
+            datasets=datasets, seeds=(0,), **FAST)
+        assert len(results) == 10
+        stats = kernels.cache_stats()
+        assert stats["graph_builds"] == len(datasets)
+        assert stats["builds"] == len(datasets)
+        assert stats["hits"] >= 4 * len(datasets)
+        kernels.clear_cache()
+
+    def test_num_threads_does_not_change_results(self, tiny_dataset):
+        from repro.kernels import set_num_threads
+
+        try:
+            a = run_grid(detectors=("KNN",), datasets=(tiny_dataset,),
+                         seeds=(0,), num_threads=1, **FAST)
+            b = run_grid(detectors=("KNN",), datasets=(tiny_dataset,),
+                         seeds=(0,), num_threads=4, **FAST)
+        finally:
+            set_num_threads(None)
+        assert a[0] == b[0]
+
+    def test_num_threads_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(num_threads=0)
+
+    def test_default_worker_threads_split_cores(self, monkeypatch):
+        """Unconfigured parallel grids split the cores across workers
+        instead of oversubscribing n_jobs x cpu_count GEMM threads;
+        explicit configuration wins."""
+        import os
+
+        from repro.experiments.harness import _default_worker_threads
+        from repro.kernels.threading import set_num_threads
+
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert _default_worker_threads(4) == 2
+        assert _default_worker_threads(16) == 1
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert _default_worker_threads(4) is None
+        monkeypatch.delenv("REPRO_NUM_THREADS")
+        try:
+            set_num_threads(2)
+            assert _default_worker_threads(4) is None
+        finally:
+            set_num_threads(None)
+
+    def test_num_threads_restored_after_grid(self, tiny_dataset):
+        """The grid-scoped thread count must not leak into the caller's
+        process-global kernel configuration."""
+        from repro.kernels.threading import (get_configured_num_threads,
+                                             set_num_threads)
+
+        try:
+            set_num_threads(2)
+            run_grid(detectors=("KNN",), datasets=(tiny_dataset,),
+                     seeds=(0,), num_threads=1, **FAST)
+            assert get_configured_num_threads() == 2
+            set_num_threads(None)
+            run_grid(detectors=("KNN",), datasets=(tiny_dataset,),
+                     seeds=(0,), num_threads=3, **FAST)
+            assert get_configured_num_threads() is None
+        finally:
+            set_num_threads(None)

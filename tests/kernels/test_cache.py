@@ -1,0 +1,258 @@
+"""Tests for the process-wide neighbor cache: exactness + observability."""
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.kernels import NeighborCache, cached_kneighbors, fingerprint
+from repro.kernels.distance import kneighbors
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    kernels.clear_cache()
+    yield
+    kernels.clear_cache()
+
+
+class TestFingerprint:
+    def test_content_keyed(self, rng):
+        X = rng.normal(size=(30, 4))
+        assert fingerprint(X) == fingerprint(X.copy())
+        Y = X.copy()
+        Y[3, 2] += 1e-12
+        assert fingerprint(X) != fingerprint(Y)
+
+    def test_dtype_and_shape_matter(self, rng):
+        X = rng.normal(size=(12, 4))
+        assert fingerprint(X) != fingerprint(X.astype(np.float32))
+        assert fingerprint(X) != fingerprint(X.reshape(4, 12))
+
+
+class TestNeighborCacheExactness:
+    @pytest.mark.parametrize("exclude_self", [True, False])
+    @pytest.mark.parametrize("k", [1, 3, 19])
+    def test_matches_direct_kernel(self, rng, k, exclude_self):
+        X = rng.normal(size=(40, 5))
+        cache = NeighborCache()
+        d_c, i_c = cache.kneighbors(X, k, exclude_self=exclude_self)
+        d_d, i_d = kneighbors(X, X, k, exclude_self=exclude_self)
+        np.testing.assert_array_equal(i_c, i_d)
+        np.testing.assert_array_equal(d_c, d_d)
+
+    def test_matches_direct_kernel_on_duplicates(self, rng):
+        X = np.vstack([rng.normal(size=(15, 3))] * 3)
+        cache = NeighborCache()
+        for exclude_self in (True, False):
+            for k in (2, 10):
+                d_c, i_c = cache.kneighbors(X, k, exclude_self=exclude_self)
+                d_d, i_d = kneighbors(X, X, k, exclude_self=exclude_self)
+                np.testing.assert_array_equal(i_c, i_d)
+                np.testing.assert_array_equal(d_c, d_d)
+
+    def test_monotone_one_build_serves_smaller_k(self, rng):
+        X = rng.normal(size=(60, 4))
+        cache = NeighborCache(min_k=20)
+        d20, i20 = cache.kneighbors(X, 20, exclude_self=True)
+        for k in (1, 5, 12):
+            d_k, i_k = cache.kneighbors(X, k, exclude_self=True)
+            np.testing.assert_array_equal(i_k, i20[:, :k])
+            np.testing.assert_array_equal(d_k, d20[:, :k])
+        assert cache.stats()["builds"] == 1
+
+    def test_one_build_serves_both_conventions(self, rng):
+        X = rng.normal(size=(50, 4))
+        cache = NeighborCache()
+        cache.kneighbors(X, 10, exclude_self=True)
+        cache.kneighbors(X, 10, exclude_self=False)
+        cache.kneighbors(X, 20, exclude_self=True)
+        assert cache.stats()["builds"] == 1
+
+    def test_larger_k_rebuilds_and_stays_consistent(self, rng):
+        X = rng.normal(size=(80, 4))
+        cache = NeighborCache(min_k=5)
+        d_small, i_small = cache.kneighbors(X, 5, exclude_self=True)
+        d_big, i_big = cache.kneighbors(X, 40, exclude_self=True)
+        assert cache.stats()["builds"] == 2
+        np.testing.assert_array_equal(i_big[:, :5], i_small)
+        np.testing.assert_array_equal(d_big[:, :5], d_small)
+
+    def test_returns_copies(self, rng):
+        X = rng.normal(size=(25, 3))
+        cache = NeighborCache()
+        d1, i1 = cache.kneighbors(X, 4)
+        d1 += 1.0
+        i1 += 1
+        d2, i2 = cache.kneighbors(X, 4)
+        assert not np.array_equal(d1, d2)
+        assert not np.array_equal(i1, i2)
+
+    def test_k_validation(self, rng):
+        X = rng.normal(size=(6, 2))
+        cache = NeighborCache()
+        with pytest.raises(ValueError):
+            cache.kneighbors(X, 6, exclude_self=True)
+        with pytest.raises(ValueError):
+            cache.kneighbors(X, 0)
+
+    def test_pairwise_cached_and_read_only(self, rng):
+        X = rng.normal(size=(30, 4))
+        cache = NeighborCache()
+        D1 = cache.pairwise(X)
+        D2 = cache.pairwise(X.copy())
+        assert D1 is D2
+        assert cache.stats()["builds"] == 1
+        with pytest.raises(ValueError):
+            D1[0, 0] = 1.0
+
+    def test_lru_eviction(self, rng):
+        cache = NeighborCache(max_graphs=2)
+        mats = [rng.normal(size=(20, 3)) for _ in range(3)]
+        for X in mats:
+            cache.kneighbors(X, 3)
+        stats = cache.stats()
+        assert stats["graphs"] == 2
+        assert stats["evictions"] == 1
+        cache.kneighbors(mats[0], 3)  # evicted -> rebuilt
+        assert cache.stats()["builds"] == 4
+
+
+class TestModuleLevelCache:
+    def test_cached_kneighbors_identity_path(self, rng):
+        X = rng.normal(size=(40, 4))
+        d_c, i_c = cached_kneighbors(X, X, 6, exclude_self=True)
+        d_d, i_d = kneighbors(X, X, 6, exclude_self=True)
+        np.testing.assert_array_equal(i_c, i_d)
+        np.testing.assert_array_equal(d_c, d_d)
+        assert kernels.cache_stats()["builds"] == 1
+
+    def test_cached_kneighbors_content_path(self, rng):
+        """A content-equal copy (FeatureBagging's scoring pattern) hits."""
+        X = rng.normal(size=(40, 4))
+        cached_kneighbors(X, X, 6, exclude_self=True)
+        d_c, i_c = cached_kneighbors(X.copy(), X, 6)
+        assert kernels.cache_stats()["builds"] == 1
+        assert kernels.cache_stats()["hits"] >= 1
+        d_d, i_d = kneighbors(X.copy(), X, 6)
+        np.testing.assert_array_equal(i_c, i_d)
+        np.testing.assert_array_equal(d_c, d_d)
+
+    def test_cached_kneighbors_distinct_query_falls_through(self, rng):
+        X = rng.normal(size=(30, 4))
+        Q = rng.normal(size=(10, 4))
+        d_c, i_c = cached_kneighbors(Q, X, 3)
+        assert kernels.cache_stats()["builds"] == 0
+        d_d, i_d = kneighbors(Q, X, 3)
+        np.testing.assert_array_equal(i_c, i_d)
+        np.testing.assert_array_equal(d_c, d_d)
+
+    def test_cache_stats_and_clear(self, rng):
+        X = rng.normal(size=(20, 3))
+        cached_kneighbors(X, X, 4, exclude_self=True)
+        cached_kneighbors(X, X, 4, exclude_self=True)
+        stats = kernels.cache_stats()
+        assert stats["builds"] == 1 and stats["hits"] == 1
+        kernels.clear_cache()
+        stats = kernels.cache_stats()
+        assert stats["builds"] == 0 and stats["graphs"] == 0
+
+
+class TestConcurrency:
+    def test_concurrent_misses_build_once(self, rng):
+        """Simultaneous first queries for one fingerprint must produce
+        exactly one O(n^2) build; the rest wait and serve views."""
+        import threading
+
+        cache = NeighborCache()
+        X = rng.normal(size=(120, 5))
+        barrier = threading.Barrier(6)
+        results, errors = [], []
+
+        def query():
+            try:
+                barrier.wait()
+                results.append(cache.kneighbors(X, 10, exclude_self=True))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.stats()["builds"] == 1
+        assert len(results) == 6
+        d0, i0 = results[0]
+        for d, i in results[1:]:
+            np.testing.assert_array_equal(d, d0)
+            np.testing.assert_array_equal(i, i0)
+
+    def test_concurrent_pairwise_builds_once(self, rng):
+        import threading
+
+        cache = NeighborCache()
+        X = rng.normal(size=(80, 4))
+        barrier = threading.Barrier(4)
+        out = []
+
+        def query():
+            barrier.wait()
+            out.append(cache.pairwise(X))
+
+        threads = [threading.Thread(target=query) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.stats()["builds"] == 1
+        for D in out[1:]:
+            assert D is out[0]  # the one cached read-only matrix
+
+    def test_failed_build_releases_key(self, rng, monkeypatch):
+        """A build that raises must release the in-flight key so later
+        queries (or waiters) can build instead of wedging."""
+        import repro.kernels.cache as cache_mod
+
+        X = rng.normal(size=(20, 3))
+        cache = NeighborCache()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected build failure")
+
+        monkeypatch.setattr(cache_mod, "kneighbors", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            cache.kneighbors(X, 5, exclude_self=True)
+        monkeypatch.undo()
+        d, i = cache.kneighbors(X, 5, exclude_self=True)
+        assert d.shape == (20, 5)
+        d2, i2 = kneighbors(X, X, 5, exclude_self=True)
+        np.testing.assert_array_equal(d, d2)
+        np.testing.assert_array_equal(i, i2)
+
+
+class TestSpotCheck:
+    def test_unequal_same_shape_query_skips_cache(self, rng):
+        """Content-unequal same-shape pairs fall through to the direct
+        kernel without registering cache traffic (the spot-check rules
+        them out before any fingerprint hashing)."""
+        ref = rng.normal(size=(60, 4))
+        query = ref + 1.0
+        kernels.clear_cache()
+        d, i = cached_kneighbors(query, ref, 5)
+        d2, i2 = kneighbors(query, ref, 5)
+        np.testing.assert_array_equal(d, d2)
+        np.testing.assert_array_equal(i, i2)
+        stats = kernels.cache_stats()
+        assert stats["hits"] == stats["misses"] == stats["builds"] == 0
+
+    def test_spot_equal_but_unequal_still_correct(self, rng):
+        """Pairs equal at the sampled rows but unequal elsewhere must be
+        caught by the full fingerprint and fall through."""
+        ref = rng.normal(size=(61, 4))
+        query = ref.copy()
+        query[17] += 3.0  # not row 0, 30, or 60
+        d, i = cached_kneighbors(query, ref, 5)
+        d2, i2 = kneighbors(query, ref, 5)
+        np.testing.assert_array_equal(d, d2)
+        np.testing.assert_array_equal(i, i2)

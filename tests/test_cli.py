@@ -24,6 +24,32 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
 
+class TestThreadsFlag:
+    def test_threads_flag_sets_kernel_threads(self):
+        from repro.kernels import get_num_threads, set_num_threads
+
+        try:
+            code, _ = run_cli("--threads", "3", "list-models")
+            assert code == 0
+            assert get_num_threads() == 3
+        finally:
+            set_num_threads(None)
+
+    def test_threads_rejects_nonpositive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--threads", "0", "list-models"])
+
+    def test_threads_parses_in_either_position(self):
+        args = build_parser().parse_args(["--threads", "3", "list-models"])
+        assert args.threads == 3
+        args = build_parser().parse_args(
+            ["sweep", "--models", "HBOS", "--datasets", "glass",
+             "--threads", "2"])
+        assert args.threads == 2
+        args = build_parser().parse_args(["list-models"])
+        assert args.threads is None
+
+
 class TestListCommands:
     def test_list_models(self):
         code, text = run_cli("list-models")
