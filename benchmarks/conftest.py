@@ -10,8 +10,9 @@ The main detector x dataset sweep is computed once per session and shared
 by the Table IV / Fig 6 / Fig 7 / Fig 10 benchmarks.  Set
 ``REPRO_BENCH_JOBS=<n>`` to fan its cells out over ``n`` worker processes
 and ``REPRO_BENCH_CACHE=<dir>`` to reuse per-cell results across sessions
-(both map straight onto :func:`repro.experiments.harness.run_grid`'s
-``n_jobs``/``cache_dir``; results are identical either way).
+— both resolve inside :func:`repro.experiments.harness.run_grid` through
+the :class:`repro.runtime.RunContext` environment layer (results are
+identical either way), so this module no longer reads them itself.
 """
 
 import os
@@ -22,8 +23,6 @@ from repro.detectors.registry import DETECTOR_NAMES
 from repro.experiments.harness import DEFAULT_BENCH_DATASETS, run_grid
 
 FULL = os.environ.get("REPRO_FULL_BENCH", "") == "1"
-N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
-CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 # Reduced core: 12 heterogeneous datasets mixing strong- and weak-teacher
 # cells (see harness.DEFAULT_BENCH_DATASETS for the rationale).
@@ -55,8 +54,6 @@ def main_sweep():
         n_iterations=N_ITERATIONS,
         max_samples=MAX_SAMPLES,
         max_features=MAX_FEATURES,
-        n_jobs=N_JOBS,
-        cache_dir=CACHE_DIR,
     )
 
 

@@ -4,9 +4,11 @@ A scaled-down version of the paper's Table IV protocol: every detector is
 fitted on several registry stand-ins, boosted, and the per-model averages
 are reported with the Wilcoxon signed-rank p-value.
 
-Cells fan out over REPRO_SWEEP_JOBS worker processes (default: the CPU
-count) and finished cells are cached under .uadb-sweep-cache/, so an
-interrupted sweep resumes where it stopped.
+Cells fan out under a scoped repro.runtime.RunContext: the CPU count
+becomes the job budget (REPRO_BENCH_JOBS overrides it) and the executor
+splits the thread budget across workers automatically.  Finished cells
+are cached under .uadb-sweep-cache/, so an interrupted sweep resumes
+where it stopped.
 
 Run:  python examples/model_sweep.py [dataset ...]
 """
@@ -16,6 +18,7 @@ import sys
 
 from repro.detectors import DETECTOR_NAMES
 from repro.experiments import format_table4, run_grid, table4_summary
+from repro.runtime import RunContext
 
 DEFAULT_DATASETS = ("cardio", "fault", "glass", "mammography", "satellite",
                     "thyroid")
@@ -23,22 +26,25 @@ DEFAULT_DATASETS = ("cardio", "fault", "glass", "mammography", "satellite",
 
 def main():
     datasets = tuple(sys.argv[1:]) or DEFAULT_DATASETS
-    n_jobs = int(os.environ.get("REPRO_SWEEP_JOBS", os.cpu_count() or 1))
+    # REPRO_SWEEP_JOBS (this example's historical knob) wins, then the
+    # runtime's REPRO_BENCH_JOBS, then the CPU count.
+    jobs = (int(os.environ.get("REPRO_SWEEP_JOBS", "0") or "0")
+            or RunContext.from_env().n_jobs or (os.cpu_count() or 1))
+    ctx = RunContext(n_jobs=jobs, cache_dir=".uadb-sweep-cache")
     print(f"datasets: {', '.join(datasets)}")
     print(f"models  : {', '.join(DETECTOR_NAMES)}")
-    print(f"running the grid (jobs={n_jobs})...")
+    print(f"running the grid (jobs={ctx.n_jobs})...")
 
-    results = run_grid(
-        detectors=DETECTOR_NAMES,
-        datasets=datasets,
-        seeds=(0,),
-        n_iterations=10,
-        max_samples=400,
-        max_features=24,
-        progress=lambda msg: print("  " + msg),
-        n_jobs=n_jobs,
-        cache_dir=".uadb-sweep-cache",
-    )
+    with ctx:
+        results = run_grid(
+            detectors=DETECTOR_NAMES,
+            datasets=datasets,
+            seeds=(0,),
+            n_iterations=10,
+            max_samples=400,
+            max_features=24,
+            progress=lambda msg: print("  " + msg),
+        )
     print()
     print(format_table4(table4_summary(results)))
 

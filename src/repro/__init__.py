@@ -17,8 +17,12 @@ Public API highlights
   service, HTTP server.
 * :mod:`repro.kernels` — the shared neighbor-kernel backend: memoized
   k-NN graphs (:func:`~repro.kernels.cache_stats`), threaded distance
-  blocks (:func:`~repro.kernels.set_num_threads` /
-  ``REPRO_NUM_THREADS`` / ``repro --threads``).
+  blocks.
+* :mod:`repro.runtime` — the unified execution substrate:
+  :class:`~repro.runtime.RunContext` (scoped seed/thread/job/cache/dtype
+  configuration, resolution order explicit arg > context > env var >
+  default) and the backend-pluggable deterministic
+  :class:`~repro.runtime.Executor` every layer fans out through.
 
 Quickstart
 ----------
@@ -37,12 +41,15 @@ from repro.data import Dataset, load_dataset, make_anomaly_dataset
 from repro.detectors import DETECTOR_NAMES, make_detector
 from repro.kernels import cache_stats, set_num_threads
 from repro.metrics import auc_roc, average_precision
+from repro.runtime import Executor, RunContext
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "UADBooster",
     "Pipeline",
+    "RunContext",
+    "Executor",
     "Dataset",
     "load_dataset",
     "make_anomaly_dataset",

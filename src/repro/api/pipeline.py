@@ -147,6 +147,7 @@ class Pipeline(ParamsMixin):
         self.steps = normalized
         self._roles = order
         self.scores_ = None
+        self.run_context_ = None
 
     # -- structure --------------------------------------------------------
     @property
@@ -221,6 +222,7 @@ class Pipeline(ParamsMixin):
             self.__init__(new_steps)
         super().set_params(**params)
         self.scores_ = None
+        self.run_context_ = None
         return self
 
     # -- estimator contract ----------------------------------------------
@@ -231,7 +233,15 @@ class Pipeline(ParamsMixin):
         return Z
 
     def fit(self, X) -> "Pipeline":
-        """Fit every step in sequence on unlabelled data."""
+        """Fit every step in sequence on unlabelled data.
+
+        The active :class:`repro.runtime.RunContext` governs every step
+        (thread budget, cache enablement, seed/dtype defaults) and its
+        snapshot is recorded under :attr:`run_context_`, so a fitted —
+        and persisted — pipeline states exactly how it was produced.
+        """
+        from repro.runtime import snapshot
+
         Z = X
         for transformer in self._transformers:
             Z = transformer.fit(Z).transform(Z)
@@ -243,6 +253,7 @@ class Pipeline(ParamsMixin):
             self.scores_ = booster.scores_
         else:
             self.scores_ = detector.fit_scores()
+        self.run_context_ = snapshot()
         return self
 
     def fit_scores(self) -> np.ndarray:
@@ -280,9 +291,11 @@ class Pipeline(ParamsMixin):
         Each step carries its own fitted state through the serving codec,
         so a restored pipeline scores bit-identically.
         """
-        return {"steps": self.steps, "scores": self.scores_}
+        return {"steps": self.steps, "scores": self.scores_,
+                "run_context": self.run_context_}
 
     def set_state(self, state: dict) -> "Pipeline":
         self.__init__(state["steps"])
         self.scores_ = state["scores"]
+        self.run_context_ = state.get("run_context")
         return self

@@ -18,10 +18,14 @@ save                   fit a source detector (name or ``--spec``) and
                        persist it as an artifact
 load-score             load a saved artifact and score a dataset with it
 serve                  serve saved models over a JSON HTTP API
+runtime-info           print the resolved execution context (each field's
+                       value and which resolution layer decided it)
 
-The global ``--threads N`` flag sets the worker-thread count of the
-shared neighbor-kernel backend (:mod:`repro.kernels`) for any command;
-``REPRO_NUM_THREADS`` is the environment equivalent.  Thread count never
+The global ``--threads N`` / ``--jobs N`` flags construct a scoped
+:class:`repro.runtime.RunContext` (thread budget / job budget) that the
+whole command runs under; ``REPRO_NUM_THREADS`` / ``REPRO_BENCH_JOBS``
+are the environment equivalents, and the resolution order is always
+explicit arg > context > env var > default.  Neither budget ever
 changes results.
 """
 
@@ -61,10 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"repro {__version__}")
     parser.add_argument("--threads", type=_positive_int, default=None,
                         metavar="N",
-                        help="worker threads for the shared distance "
-                             "kernels (default: REPRO_NUM_THREADS env "
-                             "var, then the CPU count); results are "
-                             "identical for any value")
+                        help="thread budget of the run's RunContext "
+                             "(default: REPRO_NUM_THREADS env var, then "
+                             "the CPU count); results are identical for "
+                             "any value")
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        metavar="N",
+                        help="job budget of the run's RunContext — worker "
+                             "processes for anything that fans out "
+                             "(default: REPRO_BENCH_JOBS env var, then 1); "
+                             "results are identical for any value")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list-models", help="list available detectors")
@@ -109,12 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-features", type=int, default=24)
     p.add_argument("--seeds", nargs="+", type=int, default=[0],
                    help="independent repetitions, seed-averaged downstream")
-    p.add_argument("--jobs", type=_positive_int, default=1,
-                   help="worker processes for the sweep (1 = serial; "
-                        "results are identical for any value)")
     p.add_argument("--cache-dir", default=None,
-                   help="directory for the on-disk per-cell result cache; "
-                        "re-running a sweep reuses finished cells")
+                   help="directory for the on-disk per-cell result cache "
+                        "(default: REPRO_BENCH_CACHE env var); re-running "
+                        "a sweep reuses finished cells")
+    p.add_argument("--backend", choices=("serial", "thread", "process"),
+                   default=None,
+                   help="executor backend for pending cells (default: "
+                        "process when the job budget exceeds 1; all "
+                        "backends return bit-identical results)")
 
     p = sub.add_parser("variance", help="Fig 2 variance-gap analysis")
     p.add_argument("--datasets", nargs="+", default=None)
@@ -158,15 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-micro-batch", action="store_true",
                    help="score each request individually (diagnostic; "
                         "micro-batching is the fast default)")
-    # --threads also parses after the subcommand (`repro sweep --jobs 4
-    # --threads 2`), where users co-locate it with --jobs; SUPPRESS
-    # keeps an absent subcommand flag from clobbering a root-position
-    # value.
+    p = sub.add_parser("runtime-info",
+                       help="print the resolved execution context")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable JSON output")
+
+    # --threads/--jobs also parse after the subcommand (`repro sweep
+    # --jobs 4 --threads 2`), where users co-locate them; SUPPRESS keeps
+    # an absent subcommand flag from clobbering a root-position value.
     for sp in sub.choices.values():
         sp.add_argument("--threads", type=_positive_int,
                         default=argparse.SUPPRESS, metavar="N",
-                        help="worker threads for the shared distance "
-                             "kernels (same as the global --threads)")
+                        help="thread budget (same as the global --threads)")
+        sp.add_argument("--jobs", type=_positive_int,
+                        default=argparse.SUPPRESS, metavar="N",
+                        help="job budget (same as the global --jobs)")
     return parser
 
 
@@ -414,10 +433,13 @@ def _cmd_sweep(args, out) -> int:
     if not models:
         models = list(DETECTOR_NAMES)
 
+    from repro.runtime import resolve_n_jobs
+
     n_cells = len(models) * len(args.datasets) * len(args.seeds)
     out.write(
         f"sweep: {len(models)} models x {len(args.datasets)} datasets "
-        f"x {len(args.seeds)} seeds = {n_cells} cells (jobs={args.jobs})\n")
+        f"x {len(args.seeds)} seeds = {n_cells} cells "
+        f"(jobs={resolve_n_jobs()})\n")
 
     def progress(msg):
         out.write("  " + msg + "\n")
@@ -433,9 +455,8 @@ def _cmd_sweep(args, out) -> int:
             max_samples=args.max_samples,
             max_features=args.max_features,
             progress=progress,
-            n_jobs=args.jobs,
             cache_dir=args.cache_dir,
-            num_threads=args.threads,
+            backend=args.backend,
         )
     except (ValueError, KeyError) as exc:
         # KeyError: unknown detector/dataset name from the registries.
@@ -470,6 +491,27 @@ def _cmd_export(args, out) -> int:
     return 0
 
 
+def _cmd_runtime_info(args, out) -> int:
+    from repro.runtime import current_context, describe, resolved
+
+    if args.as_json:
+        json.dump({"context": current_context().to_dict(),
+                   "resolved": resolved(),
+                   "sources": {row["field"]: row["source"]
+                               for row in describe()}},
+                  out, indent=1)
+        out.write("\n")
+        return 0
+    out.write("resolution order: explicit arg > active context > "
+              "env var > default\n")
+    out.write(f"{'field':<12s} {'value':<24s} source\n")
+    for row in describe():
+        value = row["value"]
+        shown = "-" if value is None else str(value)
+        out.write(f"{row['field']:<12s} {shown:<24s} {row['source']}\n")
+    return 0
+
+
 _COMMANDS = {
     "list-models": _cmd_list_models,
     "list-datasets": _cmd_list_datasets,
@@ -480,18 +522,29 @@ _COMMANDS = {
     "save": _cmd_save,
     "load-score": _cmd_load_score,
     "serve": _cmd_serve,
+    "runtime-info": _cmd_runtime_info,
 }
 
 
 def main(argv=None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``--threads`` / ``--jobs`` construct a scoped
+    :class:`repro.runtime.RunContext` the command runs under; on return
+    the caller's configuration is restored exactly (the flags never leak
+    into process-global state).
+    """
+    from repro.runtime import RunContext
+
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    if args.threads is not None:
-        from repro.kernels import set_num_threads
-
-        set_num_threads(args.threads)
-    return _COMMANDS[args.command](args, out)
+    fields = {}
+    if getattr(args, "threads", None) is not None:
+        fields["num_threads"] = args.threads
+    if getattr(args, "jobs", None) is not None:
+        fields["n_jobs"] = args.jobs
+    with RunContext(**fields):
+        return _COMMANDS[args.command](args, out)
 
 
 if __name__ == "__main__":

@@ -93,9 +93,12 @@ class UADBooster(ParamsMixin):
         (default) trains all folds per step with stacked tensor ops and is
         severalfold faster; 'sequential' is the original per-fold loop.
         Both produce identical scores for a fixed ``random_state``.
-    dtype : {'float32', 'float64'}
-        Booster training precision (float32 default, matching the
-        reference implementation's PyTorch default).
+    dtype : {'float32', 'float64'} or None
+        Booster training precision.  ``None`` (default) resolves through
+        the active :class:`repro.runtime.RunContext` (its ``dtype``
+        field, else float32 — matching the reference implementation's
+        PyTorch default); the fold ensemble pins the resolution when it
+        initializes.
     record_history : bool
         Keep the per-iteration trace in :attr:`history_` (on by default;
         turn off to save memory in large sweeps).
@@ -123,7 +126,7 @@ class UADBooster(ParamsMixin):
                  hidden: int = 128, n_layers: int = 3,
                  epochs_per_iteration: int = 10, batch_size: int = 256,
                  lr: float = 1e-3, engine: str = "batched",
-                 dtype: str = "float32", record_history: bool = True,
+                 dtype: str | None = None, record_history: bool = True,
                  random_state=None):
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
@@ -135,7 +138,9 @@ class UADBooster(ParamsMixin):
         self.batch_size = batch_size
         self.lr = lr
         self.engine = engine
-        self.dtype = dtype
+        # Canonical string (or None): numpy's dtype-vs-None equality
+        # quirk would otherwise break default-elision in specs.
+        self.dtype = None if dtype is None else str(np.dtype(dtype))
         self.record_history = record_history
         self.random_state = random_state
         self.scores_ = None
@@ -215,7 +220,7 @@ class UADBooster(ParamsMixin):
                 "batch_size": self.batch_size,
                 "lr": self.lr,
                 "engine": self.engine,
-                "dtype": str(self.dtype),
+                "dtype": None if self.dtype is None else str(self.dtype),
                 "record_history": self.record_history,
                 "random_state": self.random_state,
             },

@@ -98,12 +98,18 @@ class FoldEnsemble(ParamsMixin):
         Training engine (see module docstring).  Both engines produce
         identical scores for a fixed ``random_state``; 'batched' is
         severalfold faster.
-    dtype : {'float32', 'float64'}
-        Training precision.  float32 (default) matches the reference
-        implementation's PyTorch default and roughly doubles throughput
-        on the small GEMMs that dominate booster training; float64 is
-        available for numerically sensitive ablations.
+    dtype : {'float32', 'float64'} or None
+        Training precision.  ``None`` (default) resolves through the
+        active :class:`repro.runtime.RunContext` (its ``dtype`` field,
+        else float32 — the historical default, matching the reference
+        implementation's PyTorch precision, roughly doubling throughput
+        on the small GEMMs that dominate booster training); float64 is
+        available for numerically sensitive ablations.  Resolution is
+        pinned at :meth:`initialize` so a fitted ensemble keeps its
+        precision regardless of the context it later scores under.
     random_state : None, int, or Generator
+        ``None`` resolves through the context's ``seed`` field (fresh
+        entropy when that too is unset).
 
     Notes
     -----
@@ -120,7 +126,7 @@ class FoldEnsemble(ParamsMixin):
                  n_layers: int = 3, epochs: int = 10, batch_size: int = 256,
                  lr: float = 1e-3, min_steps_per_round: int = 100,
                  first_round_steps: int = 300, loss: str = "bce",
-                 engine: str = "batched", dtype: str = "float32",
+                 engine: str = "batched", dtype: str | None = None,
                  random_state=None):
         if n_folds < 1:
             raise ValueError(f"n_folds must be >= 1, got {n_folds}")
@@ -138,9 +144,9 @@ class FoldEnsemble(ParamsMixin):
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
             )
-        if str(dtype) not in ("float32", "float64"):
+        if dtype is not None and str(dtype) not in ("float32", "float64"):
             raise ValueError(
-                f"dtype must be 'float32' or 'float64', got {dtype!r}"
+                f"dtype must be 'float32', 'float64', or None, got {dtype!r}"
             )
         self.n_folds = n_folds
         self.hidden = hidden
@@ -152,8 +158,13 @@ class FoldEnsemble(ParamsMixin):
         self.first_round_steps = first_round_steps
         self.loss = loss
         self.engine = engine
-        self.dtype = np.dtype(dtype)
+        # Stored as the canonical *string*, not np.dtype: numpy's
+        # ``np.dtype('float64') == None`` is True (None coerces to the
+        # default dtype), which would make spec/params default-elision
+        # silently drop an explicit float64 against the None default.
+        self.dtype = None if dtype is None else str(np.dtype(dtype))
         self.random_state = random_state
+        self._resolved_dtype = None
         self._rounds_done = 0
         self._networks = None
         self._optimizers = None
@@ -170,10 +181,25 @@ class FoldEnsemble(ParamsMixin):
     def is_initialized(self) -> bool:
         return self._networks is not None
 
+    @property
+    def _dtype(self) -> np.dtype:
+        """The training precision in effect: pinned at initialize, else
+        resolved live (explicit param > RunContext.dtype > float32)."""
+        if self._resolved_dtype is not None:
+            return self._resolved_dtype
+        if self.dtype is not None:
+            return np.dtype(self.dtype)
+        from repro.runtime import resolve_dtype
+
+        return np.dtype(resolve_dtype())
+
     def initialize(self, X) -> "FoldEnsemble":
         """Create the fold networks, optimizers, and feature scaler."""
+        from repro.runtime import resolve_seed
+
         arr = check_array(X, min_samples=2)
-        self._rng = check_random_state(self.random_state)
+        self._resolved_dtype = self._dtype
+        self._rng = check_random_state(resolve_seed(self.random_state))
         self._scaler = StandardScaler().fit(arr)
 
         n = arr.shape[0]
@@ -189,7 +215,7 @@ class FoldEnsemble(ParamsMixin):
         self._networks = [
             build_mlp(arr.shape[1], hidden=self.hidden,
                       n_layers=self.n_layers,
-                      random_state=r).astype(self.dtype)
+                      random_state=r).astype(self._dtype)
             for r in net_rngs
         ]
         if self.engine == "batched":
@@ -210,7 +236,7 @@ class FoldEnsemble(ParamsMixin):
             ]
         self._cache_key = X
         self._cache_fp = _array_fingerprint(X)
-        self._cache_Z = self._scaler.transform(arr).astype(self.dtype)
+        self._cache_Z = self._scaler.transform(arr).astype(self._dtype)
         return self
 
     def _standardized(self, X) -> np.ndarray:
@@ -225,7 +251,7 @@ class FoldEnsemble(ParamsMixin):
                 and self._cache_fp is not None
                 and self._cache_fp == _array_fingerprint(X)):
             return self._cache_Z
-        Z = self._scaler.transform(check_array(X)).astype(self.dtype)
+        Z = self._scaler.transform(check_array(X)).astype(self._dtype)
         self._cache_key = X
         self._cache_fp = _array_fingerprint(X)
         self._cache_Z = Z
@@ -310,7 +336,7 @@ class FoldEnsemble(ParamsMixin):
         else:
             stacked_loss = BatchedMSELoss()
             fold_loss_fns = [MSELoss() for _ in range(K)]
-        y_col = y.astype(self.dtype)[:, None]
+        y_col = y.astype(self._dtype)[:, None]
         fold_losses = [[] for _ in range(K)]
         total_steps = max(len(s) for s in schedules)
         for t in range(total_steps):
@@ -403,9 +429,14 @@ class FoldEnsemble(ParamsMixin):
                 "first_round_steps": self.first_round_steps,
                 "loss": self.loss,
                 "engine": self.engine,
-                "dtype": str(self.dtype),
+                "dtype": None if self.dtype is None else str(self.dtype),
                 "random_state": self.random_state,
             },
+            # The precision pinned at initialize: a restored ensemble
+            # must keep the dtype it trained under, not re-resolve it
+            # from whatever RunContext is active at load time.
+            "resolved_dtype": (None if self._resolved_dtype is None
+                               else str(self._resolved_dtype)),
             "rounds_done": self._rounds_done,
             "train_indices": self._train_indices,
             "scaler": self._scaler,
@@ -427,6 +458,12 @@ class FoldEnsemble(ParamsMixin):
         the stacked optimizer's moments are copied back in.
         """
         self.__init__(**state["config"])
+        resolved_dtype = state.get("resolved_dtype")
+        if resolved_dtype is not None:
+            self._resolved_dtype = np.dtype(resolved_dtype)
+        elif self.dtype is not None:
+            # Pre-runtime states carried an always-explicit config dtype.
+            self._resolved_dtype = self.dtype
         self._rounds_done = int(state["rounds_done"])
         self._train_indices = state["train_indices"]
         self._scaler = state["scaler"]

@@ -48,7 +48,7 @@ class _VariantBase(ParamsMixin):
                  hidden: int = 128, n_layers: int = 3,
                  epochs_per_iteration: int = 10, batch_size: int = 256,
                  lr: float = 1e-3, engine: str = "batched",
-                 dtype: str = "float32", random_state=None):
+                 dtype: str | None = None, random_state=None):
         if n_iterations < 1:
             raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
         self.n_iterations = n_iterations
@@ -59,7 +59,9 @@ class _VariantBase(ParamsMixin):
         self.batch_size = batch_size
         self.lr = lr
         self.engine = engine
-        self.dtype = dtype
+        # Canonical string (or None): numpy's dtype-vs-None equality
+        # quirk would otherwise break default-elision in specs.
+        self.dtype = None if dtype is None else str(np.dtype(dtype))
         self.random_state = random_state
         self.scores_ = None
         self._ensemble = None

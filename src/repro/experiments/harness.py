@@ -10,16 +10,24 @@ dataset contents.  :func:`run_grid` is the functional front-end used by
 the CLI and benchmarks; it reproduces exactly the protocol behind the
 paper's Table IV / Table V / Figs 7-10.
 
-Cells are deterministic given their seed, so the parallel runner returns
-results identical to a serial sweep, in the same grid order.
+Cells are deterministic given their seed, so the runner returns results
+identical to a serial sweep, in the same grid order, for **every**
+executor backend (``serial`` / ``thread`` / ``process``) and every
+thread/job budget.
+
+Execution routes through :mod:`repro.runtime`: ``n_jobs``, the kernel
+thread count, and the cache directory resolve through the active
+:class:`~repro.runtime.RunContext` (explicit arg > context >
+``REPRO_BENCH_JOBS`` / ``REPRO_NUM_THREADS`` / ``REPRO_BENCH_CACHE`` >
+default), cells fan out over a :class:`~repro.runtime.Executor` whose
+cooperative budgeting splits the thread budget across workers, and each
+cached cell records the runtime snapshot it was produced under.
 
 Neighbor-based detector cells (KNN / LOF / COF / SOD / ABOD) share one
 k-NN graph per dataset through the process-wide
 :mod:`repro.kernels` cache: every cell standardizes the same dataset to
 the same bytes, so the first neighbor cell builds the graph and the rest
-hit (observable via :func:`repro.kernels.cache_stats`).  ``num_threads``
-forwards the kernel thread count into pool workers, which do not inherit
-a parent's :func:`repro.kernels.set_num_threads` call.
+hit (observable via :func:`repro.kernels.cache_stats`).
 """
 
 from __future__ import annotations
@@ -27,12 +35,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro import runtime
 from repro.api.spec import as_spec, build_spec, canonical_spec, spec_key
 from repro.core.booster import UADBooster
 from repro.core.variants import make_variant
@@ -41,6 +49,7 @@ from repro.data.registry import load_dataset
 from repro.data.synthetic import Dataset
 from repro.detectors.registry import DETECTOR_NAMES, make_detector
 from repro.metrics.ranking import auc_roc, average_precision
+from repro.utils.fingerprint import array_fingerprint
 from repro.utils.rng import check_random_state
 
 __all__ = ["RunResult", "ExperimentRunner", "run_single", "run_variant",
@@ -190,29 +199,13 @@ def _resolve_datasets(datasets, max_samples: int,
     return resolved
 
 
-def _default_worker_threads(n_jobs: int):
-    """Kernel threads per pool worker when nothing is configured.
-
-    Without this, every worker resolves the ambient default — the full
-    CPU count — and a parallel grid oversubscribes ``n_jobs x cores``
-    GEMM threads.  Splitting the cores keeps the pool the outer level
-    of parallelism.  Explicit configuration (``num_threads``,
-    :func:`repro.kernels.set_num_threads`, ``REPRO_NUM_THREADS``) wins.
-    """
-    from repro.kernels.threading import get_configured_num_threads
-
-    if (get_configured_num_threads() is not None
-            or os.environ.get("REPRO_NUM_THREADS", "").strip()):
-        return None
-    return max(1, (os.cpu_count() or 1) // n_jobs)
-
-
 def _execute_cell(spec: dict) -> RunResult:
-    """Run one grid cell from its picklable spec (process-pool worker)."""
-    if spec.get("num_threads") is not None:
-        from repro.kernels import set_num_threads
+    """Run one grid cell from its picklable spec (executor task).
 
-        set_num_threads(spec["num_threads"])
+    Thread budgets, seeds, and cache flags arrive through the
+    :class:`~repro.runtime.RunContext` the executor activates around the
+    task — the cell body is pure work.
+    """
     return run_single(
         spec["dataset"], spec["detector"],
         n_iterations=spec["n_iterations"], seed=spec["seed"],
@@ -224,29 +217,37 @@ class ExperimentRunner:
 
     Parameters
     ----------
-    n_jobs : int
-        Worker processes for the sweep.  1 (default) runs cells inline;
-        ``n_jobs > 1`` fans pending cells out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.  Cells are
-        deterministic given their seed, so the returned list is identical
-        to a serial run and always in grid order (datasets outermost,
-        seeds innermost) regardless of completion order.
+    n_jobs : int or None
+        Worker budget for the sweep.  ``None`` (default) resolves
+        through the active :class:`~repro.runtime.RunContext`
+        (``REPRO_BENCH_JOBS`` is the environment equivalent; 1 when
+        nothing is configured).  1 runs cells inline; larger budgets fan
+        pending cells out over a :class:`~repro.runtime.Executor`.
+        Cells are deterministic given their seed, so the returned list
+        is identical to a serial run and always in grid order (datasets
+        outermost, seeds innermost) regardless of completion order.
     cache_dir : str, Path, or None
         When set, each finished cell's :class:`RunResult` is written to
-        ``cache_dir`` as JSON, keyed by a SHA-256 over the cell
-        configuration *and the dataset contents*; later sweeps (any
-        process) reuse matching entries instead of re-running the cell.
-        Unreadable or incompatible cache files are treated as misses.
+        ``cache_dir`` as JSON — alongside the runtime snapshot it was
+        produced under — keyed by a SHA-256 over the cell configuration
+        *and the dataset contents*; later sweeps (any process) reuse
+        matching entries instead of re-running the cell.  Unreadable or
+        incompatible cache files are treated as misses.  ``None``
+        resolves through the context (``REPRO_BENCH_CACHE``).
     progress : callable or None
         Called with a one-line status string after every cell, including
         a ``[done/total]`` counter; cached cells are flagged.
     num_threads : int or None
-        Worker-thread count for the shared neighbor kernels
-        (:func:`repro.kernels.set_num_threads`), applied for the
-        duration of the grid in this process and in every pool worker;
-        the caller's configuration is restored when the grid returns.
-        ``None`` keeps the ambient setting (``REPRO_NUM_THREADS``, then
-        the CPU count).  Never changes results.
+        Explicit per-worker kernel-thread budget.  ``None`` (default)
+        lets the executor split the context's thread budget across
+        workers cooperatively (an ``n_jobs=4`` grid on 8 cores gives
+        each worker 2 kernel threads).  Scoped through the executor's
+        worker contexts — the caller's configuration is untouched even
+        when a cell raises.  Never changes results.
+    backend : {'serial', 'thread', 'process'} or None
+        Executor backend for pending cells.  ``None`` picks ``process``
+        when the resolved ``n_jobs`` exceeds 1, else ``serial``.  All
+        backends return bit-identical results.
 
     Examples
     --------
@@ -255,15 +256,17 @@ class ExperimentRunner:
     ...                           datasets=("glass", "cardio"), seeds=(0, 1))
     """
 
-    # 3: PR-4 exact-recompute neighbor kernels shift KNN/LOF/COF/SOD
-    # scores at the ulp level, so pre-PR4 cached cells must not hit.
-    _CACHE_VERSION = 3
+    # 4: cache files gained the runtime snapshot wrapper and the dataset
+    # hash moved to the shared repro.utils.fingerprint helper (which
+    # prefixes shape/dtype per array), so pre-PR5 entries must not hit.
+    _CACHE_VERSION = 4
 
-    def __init__(self, n_jobs: int = 1, cache_dir=None, progress=None,
-                 num_threads: int | None = None):
-        if int(n_jobs) < 1:
+    def __init__(self, n_jobs: int | None = None, cache_dir=None,
+                 progress=None, num_threads: int | None = None,
+                 backend: str | None = None):
+        if n_jobs is not None and int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
-        self.n_jobs = int(n_jobs)
+        self.n_jobs = None if n_jobs is None else int(n_jobs)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None and self.cache_dir.exists() \
                 and not self.cache_dir.is_dir():
@@ -274,6 +277,11 @@ class ExperimentRunner:
             raise ValueError(
                 f"num_threads must be >= 1, got {num_threads}")
         self.num_threads = None if num_threads is None else int(num_threads)
+        if backend is not None and backend not in runtime.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {runtime.BACKENDS} or None, "
+                f"got {backend!r}")
+        self.backend = backend
 
     def run_grid(self, detectors=DETECTOR_NAMES,
                  datasets=DEFAULT_BENCH_DATASETS, seeds=(0,),
@@ -286,62 +294,58 @@ class ExperimentRunner:
         (arbitrary configurations, whole pipelines), or live estimators —
         everything normalises through :func:`repro.api.as_spec`.
         """
-        worker_threads = self.num_threads
-        if worker_threads is None and self.n_jobs > 1:
-            worker_threads = _default_worker_threads(self.n_jobs)
-        restore_threads = worker_threads is not None
-        if restore_threads:
-            from repro.kernels.threading import get_configured_num_threads
-
-            prior_threads = get_configured_num_threads()
+        n_jobs = runtime.resolve_n_jobs(self.n_jobs)
+        cache_dir = self.cache_dir
+        if cache_dir is None:
+            resolved_dir = runtime.resolve_cache_dir()
+            cache_dir = Path(resolved_dir) if resolved_dir else None
         resolved = _resolve_datasets(datasets, max_samples, max_features)
         det_specs = [as_spec(det) for det in detectors]
         specs = [
             {"dataset": dataset, "detector": det_spec, "seed": seed,
-             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs,
-             "num_threads": worker_threads}
+             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs}
             for dataset in resolved
             for det_spec in det_specs
             for seed in seeds
         ]
         results = [None] * len(specs)
-        done = 0
+        done = [0]
         pending = []
         for i, spec in enumerate(specs):
-            cached = self._cache_load(spec)
+            cached = self._cache_load(cache_dir, spec)
             if cached is not None:
                 results[i] = cached
-                done += 1
-                self._report(cached, done, len(specs), cached_hit=True)
+                done[0] += 1
+                self._report(cached, done[0], len(specs), cached_hit=True)
             else:
                 pending.append(i)
+        if not pending:
+            return results
 
-        try:
-            if self.n_jobs == 1 or len(pending) <= 1:
-                for i in pending:
-                    results[i] = _execute_cell(specs[i])
-                    self._cache_store(specs[i], results[i])
-                    done += 1
-                    self._report(results[i], done, len(specs))
-            else:
-                workers = min(self.n_jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {pool.submit(_execute_cell, specs[i]): i
-                               for i in pending}
-                    for future in as_completed(futures):
-                        i = futures[future]
-                        results[i] = future.result()
-                        self._cache_store(specs[i], results[i])
-                        done += 1
-                        self._report(results[i], done, len(specs))
-        finally:
-            # Serial cells apply num_threads in this process (via
-            # _execute_cell); the grid must not leak that setting into
-            # the caller's process-global kernel configuration.
-            if restore_threads:
-                from repro.kernels import set_num_threads
+        backend = self.backend
+        if backend is None:
+            backend = "process" if n_jobs > 1 and len(pending) > 1 \
+                else "serial"
+        # Provenance recorded next to every cached cell: the explicit
+        # context, its resolution, and how this grid fanned out.
+        runtime_meta = dict(runtime.snapshot())
+        runtime_meta["executor"] = {"backend": backend, "n_jobs": n_jobs,
+                                    "worker_threads": self.num_threads}
+        executor = runtime.Executor(backend, max_workers=n_jobs,
+                                    worker_threads=self.num_threads)
 
-                set_num_threads(prior_threads)
+        def on_result(pos: int, result: RunResult) -> None:
+            i = pending[pos]
+            results[i] = result
+            self._cache_store(cache_dir, specs[i], result, runtime_meta)
+            done[0] += 1
+            self._report(result, done[0], len(specs))
+
+        # Worker contexts are pushed/popped around every cell by the
+        # executor (finally-guarded), so the caller's thread
+        # configuration survives even when a cell raises.
+        executor.map(_execute_cell, [specs[i] for i in pending],
+                     on_result=on_result)
         return results
 
     # -- progress -----------------------------------------------------------
@@ -359,21 +363,22 @@ class ExperimentRunner:
 
     # -- on-disk result cache ----------------------------------------------
 
-    def _cache_path(self, spec: dict) -> Path:
+    def _cache_path(self, cache_dir: Path, spec: dict) -> Path:
         dataset = spec["dataset"]
-        fingerprint = hashlib.sha256()
-        fingerprint.update(dataset.name.encode())
-        fingerprint.update(np.ascontiguousarray(dataset.X).tobytes())
-        fingerprint.update(np.ascontiguousarray(dataset.y).tobytes())
         # The detector enters the key as its canonical spec JSON, so a
         # registry name, its explicit spec (any key order, omitted or
         # empty params), and a default-constructed live estimator all
         # hash identically — and any parameter change is a guaranteed
-        # miss.
+        # miss.  The dataset enters as its name plus the shared content
+        # fingerprint over (X, y).  The runtime context deliberately
+        # stays OUT of the key: budgets and backends never change
+        # results, so a sweep rerun under a different thread count must
+        # still hit.
         key = json.dumps(
             {"version": self._CACHE_VERSION,
              "detector": canonical_spec(spec["detector"]),
-             "dataset": fingerprint.hexdigest(),
+             "dataset": {"name": dataset.name,
+                         "sha256": array_fingerprint(dataset.X, dataset.y)},
              "seed": spec["seed"],
              "n_iterations": spec["n_iterations"],
              "booster_kwargs": spec["booster_kwargs"]},
@@ -383,33 +388,36 @@ class ExperimentRunner:
         label = spec_label(spec["detector"])
         safe = "".join(c if c.isalnum() else "-" for c in
                        f"{label}-{dataset.name}")
-        return self.cache_dir / (f"{safe}-s{spec['seed']}-{digest}.json")
+        return cache_dir / (f"{safe}-s{spec['seed']}-{digest}.json")
 
-    def _cache_load(self, spec: dict):
-        if self.cache_dir is None:
+    def _cache_load(self, cache_dir: Path | None, spec: dict):
+        if cache_dir is None:
             return None
         try:
-            with open(self._cache_path(spec)) as fh:
-                return RunResult(**json.load(fh))
-        except (OSError, ValueError, TypeError):
+            with open(self._cache_path(cache_dir, spec)) as fh:
+                return RunResult(**json.load(fh)["result"])
+        except (OSError, ValueError, TypeError, KeyError):
             return None
 
-    def _cache_store(self, spec: dict, result: RunResult) -> None:
-        if self.cache_dir is None:
+    def _cache_store(self, cache_dir: Path | None, spec: dict,
+                     result: RunResult, runtime_meta: dict) -> None:
+        if cache_dir is None:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._cache_path(spec)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(cache_dir, spec)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         with open(tmp, "w") as fh:
-            json.dump(asdict(result), fh)
+            json.dump({"result": asdict(result), "runtime": runtime_meta},
+                      fh)
         os.replace(tmp, path)
 
 
 def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
              seeds=(0,), n_iterations: int = 10, max_samples: int = 600,
              max_features: int = 32, booster_kwargs: dict | None = None,
-             progress=None, n_jobs: int = 1, cache_dir=None,
-             num_threads: int | None = None) -> list:
+             progress=None, n_jobs: int | None = None, cache_dir=None,
+             num_threads: int | None = None,
+             backend: str | None = None) -> list:
     """Run the full detector x dataset x seed grid.
 
     Parameters
@@ -425,13 +433,19 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
     progress : callable or None
         Called with a status string after every cell (hook for the CLI
         and benchmarks).
-    n_jobs : int
-        Worker processes (see :class:`ExperimentRunner`); cells are
-        deterministic, so any ``n_jobs`` produces identical results.
+    n_jobs : int or None
+        Worker budget (see :class:`ExperimentRunner`); ``None`` resolves
+        through the active :class:`~repro.runtime.RunContext`.  Cells
+        are deterministic, so any ``n_jobs`` produces identical results.
     cache_dir : str, Path, or None
-        On-disk :class:`RunResult` cache (see :class:`ExperimentRunner`).
+        On-disk :class:`RunResult` cache (see :class:`ExperimentRunner`);
+        ``None`` resolves through the context (``REPRO_BENCH_CACHE``).
     num_threads : int or None
-        Kernel worker threads (see :class:`ExperimentRunner`).
+        Explicit per-worker kernel threads (see
+        :class:`ExperimentRunner`); ``None`` splits the context's thread
+        budget across workers.
+    backend : {'serial', 'thread', 'process'} or None
+        Executor backend; all backends are bit-identical.
 
     Returns
     -------
@@ -439,7 +453,8 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
         In grid order: datasets outermost, then detectors, then seeds.
     """
     runner = ExperimentRunner(n_jobs=n_jobs, cache_dir=cache_dir,
-                              progress=progress, num_threads=num_threads)
+                              progress=progress, num_threads=num_threads,
+                              backend=backend)
     return runner.run_grid(
         detectors=detectors, datasets=datasets, seeds=seeds,
         n_iterations=n_iterations, max_samples=max_samples,

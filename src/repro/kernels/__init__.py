@@ -12,7 +12,9 @@ One compute substrate behind every distance consumer in the repo
   one build serves the whole detector bank (see
   :mod:`repro.kernels.cache`).
 * :func:`set_num_threads` / :func:`get_num_threads` — thread-count
-  control (``REPRO_NUM_THREADS`` env var, ``repro --threads`` CLI flag).
+  control, now a shim over :mod:`repro.runtime`: the count is one field
+  of the scoped :class:`~repro.runtime.RunContext` (``REPRO_NUM_THREADS``
+  env var, ``repro --threads`` CLI flag, ``with RunContext(num_threads=n)``).
   Thread count, chunking, and cache state never change results — only
   wall-clock time.
 
@@ -62,7 +64,7 @@ def cached_kneighbors(query: np.ndarray, reference: np.ndarray, k: int,
     the same kernel and neighbor selection/order is a pure deterministic
     function of the data.
     """
-    if neighbor_cache.enabled:
+    if neighbor_cache.is_active():
         if query is reference:
             return neighbor_cache.kneighbors(
                 reference, k, exclude_self=exclude_self,

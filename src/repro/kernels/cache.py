@@ -33,25 +33,16 @@ hogs at 8 n^2 bytes).
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.kernels.distance import kneighbors, pairwise_distances
+from repro.runtime import resolve_cache_enabled
+from repro.utils.fingerprint import array_fingerprint as fingerprint
 
 __all__ = ["NeighborCache", "fingerprint"]
-
-
-def fingerprint(X: np.ndarray) -> str:
-    """Content hash of an array: dtype, shape, and raw bytes."""
-    X = np.ascontiguousarray(X)
-    digest = hashlib.sha256()
-    digest.update(str(X.dtype).encode())
-    digest.update(str(X.shape).encode())
-    digest.update(X.tobytes())
-    return digest.hexdigest()
 
 
 class NeighborCache:
@@ -85,6 +76,8 @@ class NeighborCache:
         self.min_k = min_k
         #: When False, every query recomputes directly and the counters
         #: stay frozen (benchmarks use this for the uncached baseline).
+        #: The active :class:`repro.runtime.RunContext`'s ``cache`` field
+        #: gates the cache the same way, scoped instead of global.
         self.enabled = True
         self._graphs: OrderedDict = OrderedDict()
         self._matrices: OrderedDict = OrderedDict()
@@ -97,6 +90,12 @@ class NeighborCache:
         self._stats = {"hits": 0, "misses": 0, "builds": 0,
                        "graph_builds": 0, "matrix_builds": 0,
                        "evictions": 0}
+
+    def is_active(self) -> bool:
+        """Whether queries are served from the cache right now: the
+        instance flag AND the active RunContext's ``cache`` field (both
+        default to enabled; results are identical either way)."""
+        return self.enabled and resolve_cache_enabled()
 
     # -- k-NN graphs ------------------------------------------------------
     def kneighbors(self, X: np.ndarray, k: int, exclude_self: bool = True,
@@ -124,7 +123,7 @@ class NeighborCache:
                 f"k must be in [1, {max_k}] for {n} reference rows "
                 f"(exclude_self={exclude_self}), got {k}"
             )
-        if not self.enabled:
+        if not self.is_active():
             return kneighbors(X, X, k, exclude_self=exclude_self,
                               chunk_size=chunk_size)
         # The unmasked window must be one wider than an exclude-self
@@ -199,7 +198,7 @@ class NeighborCache:
         bytes would defeat the point); callers needing to write must copy.
         """
         X = np.asarray(X, dtype=np.float64)
-        if not self.enabled:
+        if not self.is_active():
             return pairwise_distances(X, X, chunk_size=chunk_size)
         key = fingerprint(X)
         while True:

@@ -1,104 +1,60 @@
-"""Thread-count control for the shared neighbor-kernel backend.
+"""Thread-count control — compatibility shim over :mod:`repro.runtime`.
 
-Distance blocks are embarrassingly parallel over query rows and the heavy
-lifting inside each block is a BLAS matrix product, which releases the
-GIL — so a plain :class:`~concurrent.futures.ThreadPoolExecutor` over
-row blocks scales without any pickling or process overhead.
+The thread pool that used to live here moved into the unified execution
+runtime: :func:`repro.runtime.map_blocks` fans blocks out through a
+:class:`repro.runtime.Executor` (BLAS releases the GIL, block boundaries
+stay deterministic, every thread count is bit-identical), and the thread
+count itself is one field of the scoped
+:class:`repro.runtime.RunContext`, resolved as
 
-The thread count resolves, in order, from :func:`set_num_threads`, the
-``REPRO_NUM_THREADS`` environment variable, and finally ``os.cpu_count()``.
-Results are **bit-identical for any thread count**: work is split into the
-same deterministic row blocks regardless of how many workers drain them,
-and every block writes a disjoint slice of the preallocated output.
+    explicit arg > active context > ``REPRO_NUM_THREADS`` > cpu count.
+
+This module keeps the historical entry points alive as thin delegates:
+``set_num_threads(n)`` writes the process-global base context
+(:func:`repro.runtime.configure`), scoped overrides use ``with
+RunContext(num_threads=n):`` directly.  Thread count never changes
+results, only wall-clock time.
 """
 
 from __future__ import annotations
 
-import os
-import threading
-from concurrent.futures import ThreadPoolExecutor
+from repro.runtime import (
+    configure,
+    configured_context,
+    map_blocks,
+    resolve_num_threads,
+)
 
 __all__ = ["set_num_threads", "get_num_threads",
            "get_configured_num_threads", "map_blocks"]
 
-_lock = threading.Lock()
-_num_threads: int | None = None  # None -> env var / cpu_count fallback
-_in_worker = threading.local()  # nested map_blocks must not re-enter a pool
-
-
-def _env_threads() -> int:
-    raw = os.environ.get("REPRO_NUM_THREADS", "").strip()
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            pass
-    return max(1, os.cpu_count() or 1)
-
 
 def set_num_threads(n: int | None) -> None:
-    """Set the worker-thread count for chunked distance kernels.
+    """Set the process-global worker-thread count for chunked kernels.
 
-    ``None`` restores the default resolution order (``REPRO_NUM_THREADS``
-    env var, then ``os.cpu_count()``).  Thread count never changes
-    results, only wall-clock time.
+    ``None`` restores the default resolution (active context, then
+    ``REPRO_NUM_THREADS``, then ``os.cpu_count()``).  Prefer the scoped
+    form — ``with repro.runtime.RunContext(num_threads=n):`` — in new
+    code; this global remains for the CLI-era call sites and tests.
     """
-    global _num_threads
     if n is not None:
         n = int(n)
         if n < 1:
             raise ValueError(f"num_threads must be >= 1, got {n}")
-    with _lock:
-        _num_threads = n
+    configure(num_threads=n)
 
 
 def get_num_threads() -> int:
-    """The worker-thread count chunked kernels will use."""
-    with _lock:
-        return _num_threads if _num_threads is not None else _env_threads()
+    """The worker-thread count chunked kernels will use right now."""
+    return resolve_num_threads()
 
 
 def get_configured_num_threads() -> int | None:
-    """The explicitly configured count, or ``None`` when unset.
+    """The explicitly configured global count, or ``None`` when unset.
 
-    Unlike :func:`get_num_threads` this does not resolve the
-    environment fallback, so callers can save and later restore the
+    Unlike :func:`get_num_threads` this does not resolve context or
+    environment fallbacks, so callers can save and later restore the
     exact configuration with :func:`set_num_threads`.
     """
-    with _lock:
-        return _num_threads
-
-
-def map_blocks(fn, blocks) -> None:
-    """Run ``fn(block)`` for every block, threading when it can pay off.
-
-    ``fn`` must write its results into preallocated output slices (the
-    blocks are disjoint), so completion order is irrelevant and the
-    result is identical to the serial loop.  A nested call from inside a
-    worker runs serially (re-entering a pool while occupying a slot
-    could deadlock it).
-
-    The pool is per-call: construction costs microseconds against the
-    tens-of-milliseconds distance blocks that justify threading at all,
-    every call observes the *current* thread count exactly, and there is
-    no shared executor to race on from concurrent callers.
-    """
-    blocks = list(blocks)
-    n_threads = min(get_num_threads(), len(blocks))
-    if (n_threads <= 1 or len(blocks) <= 1
-            or getattr(_in_worker, "active", False)):
-        for block in blocks:
-            fn(block)
-        return
-
-    def guarded(block):
-        _in_worker.active = True
-        try:
-            fn(block)
-        finally:
-            _in_worker.active = False
-
-    with ThreadPoolExecutor(max_workers=n_threads,
-                            thread_name_prefix="repro-kernel") as executor:
-        # list() propagates the first worker exception to the caller.
-        list(executor.map(guarded, blocks))
+    base = configured_context()
+    return base.num_threads if base is not None else None

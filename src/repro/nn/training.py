@@ -46,8 +46,13 @@ def train(network, X: np.ndarray, y: np.ndarray, epochs: int = 10,
     Defaults mirror the paper's booster setup: Adam with ``lr=1e-3``,
     ``batch_size=256``, 10 epochs per call.  The optimizer may be supplied by
     the caller so its moment state persists across repeated calls (as in the
-    iterative UADB loop).
+    iterative UADB loop).  A ``random_state`` of ``None`` resolves through
+    the active :class:`repro.runtime.RunContext`'s ``seed`` field before
+    falling back to fresh entropy, so a context-pinned run shuffles
+    reproducibly without threading seeds by hand.
     """
+    from repro.runtime import resolve_seed
+
     if epochs < 0:
         raise ValueError(f"epochs must be non-negative, got {epochs}")
     X = np.asarray(X)
@@ -56,7 +61,7 @@ def train(network, X: np.ndarray, y: np.ndarray, epochs: int = 10,
     # Targets follow the design matrix's precision (float32 booster
     # training feeds float32 features; everything else stays float64).
     target = np.asarray(y, dtype=X.dtype).reshape(X.shape[0], -1)
-    rng = check_random_state(random_state)
+    rng = check_random_state(resolve_seed(random_state))
     loss = loss if loss is not None else MSELoss()
     if optimizer is None:
         optimizer = Adam(network.params, network.grads, lr=lr)

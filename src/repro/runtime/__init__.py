@@ -1,0 +1,74 @@
+"""repro.runtime — the unified execution substrate.
+
+One layer answers every "how should this run?" question in the repo:
+
+* :class:`RunContext` — a first-class, scoped, immutable configuration
+  value (seed policy, thread budget, job budget, cache enablement,
+  dtype default) with a context-manager API and one resolution order:
+  **explicit arg > active context > env var > default**.  Spec-
+  serialisable via :mod:`repro.api`; recorded into artifact manifests
+  and experiment cache metadata (:func:`snapshot`).
+* :class:`Executor` — a backend-pluggable (``serial`` / ``thread`` /
+  ``process``) deterministic ``map``: results are keyed by submission
+  index, and a parent's thread budget is split cooperatively across
+  workers, so nested parallelism degrades to sane budgets instead of
+  oversubscribing.
+* :func:`map_blocks` / :func:`start_worker` — the kernel fan-out and
+  long-lived-worker primitives built on the same two pieces.
+
+Every knob except ``seed`` is guaranteed results-neutral: backends,
+budgets, and caches change wall-clock time and provenance metadata only.
+
+>>> from repro.runtime import RunContext, Executor
+>>> with RunContext(num_threads=4, n_jobs=2):
+...     Executor("process", max_workers=2).map(cell, specs)  # 2 threads each
+"""
+
+from repro.runtime.context import (
+    RunContext,
+    active_context,
+    configure,
+    configured_context,
+    current_context,
+    describe,
+    resolve_cache_dir,
+    resolve_cache_enabled,
+    resolve_dtype,
+    resolve_n_jobs,
+    resolve_num_threads,
+    resolve_seed,
+    resolved,
+    scoped_context,
+    snapshot,
+)
+from repro.runtime.executor import BACKENDS, Executor, map_blocks, \
+    start_worker
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "RunContext",
+    "active_context",
+    "configure",
+    "configured_context",
+    "current_context",
+    "describe",
+    "map_blocks",
+    "resolve_cache_dir",
+    "resolve_cache_enabled",
+    "resolve_dtype",
+    "resolve_n_jobs",
+    "resolve_num_threads",
+    "resolve_seed",
+    "resolved",
+    "scoped_context",
+    "snapshot",
+    "start_worker",
+]
+
+# RunContext follows the estimator protocol (ParamsMixin + same-named
+# attributes), so registering it makes contexts spec-serialisable like
+# any other component: to_spec(ctx) / build_spec round-trip.
+from repro.api.registry import register_component as _register_component
+
+_register_component(RunContext)

@@ -34,7 +34,9 @@ import numpy as np
 
 import repro
 from repro.api.spec import SpecError, to_spec
+from repro.runtime import snapshot as _runtime_snapshot
 from repro.serving.state import STATEFUL_CLASSES, decode, encode
+from repro.utils.fingerprint import content_sha256
 
 __all__ = [
     "ArtifactError",
@@ -69,7 +71,7 @@ def data_fingerprint(X) -> dict:
     return {
         "shape": list(arr.shape),
         "dtype": arr.dtype.str,
-        "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+        "sha256": content_sha256(arr),
     }
 
 
@@ -158,6 +160,11 @@ def save_model(model, path, *, data=None, extra=None) -> Path:
         "created_unix": time.time(),
         "config": _config_summary(model),
         "spec": spec,
+        # The execution configuration the model was produced under
+        # (explicit RunContext fields plus their resolution): budgets
+        # and caches never change scores, but a serving deployment can
+        # now state exactly how an artifact was made.
+        "runtime": _runtime_snapshot(),
         "data_fingerprint": None if data is None else data_fingerprint(data),
         "n_arrays": len(arrays),
         "payload_sha256": payload_sha256,

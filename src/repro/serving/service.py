@@ -33,6 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.runtime import snapshot as _runtime_snapshot
+from repro.runtime import start_worker
 from repro.serving.artifacts import ModelStore
 
 __all__ = ["ScoringService"]
@@ -110,12 +112,19 @@ class ScoringService:
         self._queue: deque = deque()
         self._queue_cond = threading.Condition()
         self._closed = False
+        # Captured at construction: the execution configuration this
+        # service scores under (the scorer worker carries the same
+        # creating-thread context for its whole lifetime), not whatever
+        # context a later stats() caller happens to be in.
+        self._runtime = _runtime_snapshot()
         self._scorer = None
         if micro_batch:
-            self._scorer = threading.Thread(
-                target=self._scorer_loop, name="repro-scorer", daemon=True
-            )
-            self._scorer.start()
+            # The scorer is a runtime worker: it carries the creating
+            # thread's RunContext, so kernel work inside coalesced
+            # predicts honours the service owner's thread budget and
+            # cache flags (raw threads would silently drop them).
+            self._scorer = start_worker(self._scorer_loop,
+                                        name="repro-scorer")
 
     # -- model cache ------------------------------------------------------
     def models(self) -> list:
@@ -195,6 +204,9 @@ class ScoringService:
         counters (:func:`repro.kernels.cache_stats`): neighbor-based
         models served here share that cache with everything else in the
         process, so hot-path regressions show up in one place.
+        ``runtime`` nests the :class:`repro.runtime.RunContext` snapshot
+        captured when the service was constructed — the configuration
+        its scorer answers requests under.
         """
         from repro.kernels import cache_stats
 
@@ -204,6 +216,7 @@ class ScoringService:
             stats["requests"] / stats["batches"] if stats["batches"] else 0.0
         )
         stats["kernel_cache"] = cache_stats()
+        stats["runtime"] = self._runtime
         return stats
 
     # -- scorer thread ----------------------------------------------------

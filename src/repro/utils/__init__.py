@@ -1,5 +1,6 @@
-"""Shared low-level utilities: RNG handling and input validation."""
+"""Shared low-level utilities: RNG handling, validation, fingerprints."""
 
+from repro.utils.fingerprint import array_fingerprint, content_sha256
 from repro.utils.rng import check_random_state, spawn_rng, stable_hash
 from repro.utils.validation import (
     check_array,
@@ -9,6 +10,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "array_fingerprint",
+    "content_sha256",
     "check_random_state",
     "spawn_rng",
     "stable_hash",

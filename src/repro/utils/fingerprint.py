@@ -1,0 +1,45 @@
+"""Shared content fingerprinting for arrays.
+
+One hashing routine behind every content-keyed subsystem — the
+:class:`repro.kernels.cache.NeighborCache` keys, the
+:class:`repro.experiments.harness.ExperimentRunner` on-disk result cache,
+and :func:`repro.serving.artifacts.data_fingerprint` — so "same bytes,
+same key" means the same thing everywhere and a change to the digest
+composition happens in exactly one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["array_fingerprint", "content_sha256"]
+
+
+def array_fingerprint(*arrays) -> str:
+    """SHA-256 over each array's dtype, shape, and raw bytes, in order.
+
+    Metadata is hashed alongside the data so arrays with equal bytes but
+    different shapes or dtypes (a transposed view, a float32 twin) never
+    collide.  Multiple arrays chain into one digest — the experiment
+    cache fingerprints ``(X, y)`` pairs in a single call.
+    """
+    digest = hashlib.sha256()
+    for X in arrays:
+        X = np.ascontiguousarray(X)
+        digest.update(str(X.dtype).encode())
+        digest.update(str(X.shape).encode())
+        digest.update(X.tobytes())
+    return digest.hexdigest()
+
+
+def content_sha256(X) -> str:
+    """SHA-256 over the raw bytes only (no dtype/shape prefix).
+
+    The artifact-manifest data fingerprint records shape and dtype as
+    separate JSON fields, so its hash covers bytes alone; this keeps the
+    recorded values stable for artifacts written before the helper
+    existed.
+    """
+    return hashlib.sha256(np.ascontiguousarray(X).tobytes()).hexdigest()

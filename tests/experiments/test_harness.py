@@ -240,27 +240,29 @@ class TestSharedNeighborKernel:
         with pytest.raises(ValueError):
             ExperimentRunner(num_threads=0)
 
-    def test_default_worker_threads_split_cores(self, monkeypatch):
-        """Unconfigured parallel grids split the cores across workers
-        instead of oversubscribing n_jobs x cpu_count GEMM threads;
-        explicit configuration wins."""
+    def test_worker_threads_split_cooperatively(self, monkeypatch):
+        """Grid workers get the parent thread budget split across the
+        job budget (n_jobs=4 on 8 cores -> 2 kernel threads each)
+        instead of oversubscribing n_jobs x cpu_count GEMM threads; an
+        explicit per-worker count wins."""
         import os
 
-        from repro.experiments.harness import _default_worker_threads
-        from repro.kernels.threading import set_num_threads
+        from repro.runtime import Executor, RunContext, resolve_num_threads
 
         monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
-        assert _default_worker_threads(4) == 2
-        assert _default_worker_threads(16) == 1
-        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
-        assert _default_worker_threads(4) is None
-        monkeypatch.delenv("REPRO_NUM_THREADS")
-        try:
-            set_num_threads(2)
-            assert _default_worker_threads(4) is None
-        finally:
-            set_num_threads(None)
+        probe = lambda _: resolve_num_threads()  # noqa: E731
+        items = list(range(4))
+        ex = Executor("thread", max_workers=4)
+        assert ex.map(probe, items) == [2, 2, 2, 2]
+        # Serial execution never runs tasks concurrently, so each task
+        # keeps the full budget — splitting would just idle cores.
+        assert Executor("serial", max_workers=4).map(probe, items) \
+            == [8, 8, 8, 8]
+        with RunContext(num_threads=3):
+            assert ex.map(probe, items) == [1, 1, 1, 1]  # 3 // 4 -> floor 1
+        explicit = Executor("serial", max_workers=4, worker_threads=5)
+        assert explicit.map(probe, items) == [5, 5, 5, 5]
 
     def test_num_threads_restored_after_grid(self, tiny_dataset):
         """The grid-scoped thread count must not leak into the caller's

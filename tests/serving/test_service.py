@@ -66,6 +66,39 @@ class TestScoring:
             assert np.array_equal(service.score("hbos", X), expected)
             assert service.stats()["batches"] == 1
 
+    def test_stats_report_the_runtime_context(self, store, X):
+        from repro.runtime import RunContext
+
+        with RunContext(num_threads=2):
+            with ScoringService(store) as service:
+                service.score("hbos", X)
+                runtime = service.stats()["runtime"]
+        assert runtime["context"]["num_threads"] == 2
+        assert runtime["resolved"]["num_threads"] == 2
+
+    def test_scorer_thread_inherits_the_creating_context(self, store, X):
+        """The micro-batch worker is a runtime worker: kernel work in
+        coalesced predicts runs under the service owner's context."""
+        from repro.runtime import RunContext, resolve_num_threads
+
+        probe = []
+        with RunContext(num_threads=3):
+            service = ScoringService(store)
+            try:
+                # Piggyback on the scorer thread via a score call, then
+                # read what the scorer resolved from its own thread.
+                original_loop_get = service.get_model
+
+                def spying_get(model_id):
+                    probe.append(resolve_num_threads())
+                    return original_loop_get(model_id)
+
+                service.get_model = spying_get
+                service.score("hbos", X)
+            finally:
+                service.close()
+        assert probe and probe[0] == 3
+
 
 class TestConcurrency:
     def test_concurrent_requests_correct(self, store, X):

@@ -25,15 +25,18 @@ class TestParser:
 
 
 class TestThreadsFlag:
-    def test_threads_flag_sets_kernel_threads(self):
-        from repro.kernels import get_num_threads, set_num_threads
+    def test_threads_flag_scopes_a_run_context(self):
+        from repro.kernels import get_num_threads
 
-        try:
-            code, _ = run_cli("--threads", "3", "list-models")
-            assert code == 0
-            assert get_num_threads() == 3
-        finally:
-            set_num_threads(None)
+        before = get_num_threads()
+        code, text = run_cli("--threads", "3", "runtime-info", "--json")
+        assert code == 0
+        info = json.loads(text)
+        assert info["resolved"]["num_threads"] == 3
+        assert info["sources"]["num_threads"] == "context"
+        # The context is scoped to the command: nothing leaks into the
+        # caller's process-global configuration.
+        assert get_num_threads() == before
 
     def test_threads_rejects_nonpositive(self):
         with pytest.raises(SystemExit):
