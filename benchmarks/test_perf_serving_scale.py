@@ -1,0 +1,183 @@
+"""Throughput guard: the 4-worker fleet must beat one service >= 2x.
+
+What scales and why
+-------------------
+This box has one CPU core, so the fleet's win is **not** parallel
+compute — it is aggregate cache capacity.  Under a mixed-model workload
+(clients round-robining over ``N_MODELS`` models, more than one LRU cache
+holds) a single :class:`ScoringService` reloads an artifact from disk on
+nearly every request, while each fleet worker owns the shard consistent
+hashing assigns it — small enough to stay warm — and answers from
+memory.  The guard pins that mechanism, not just the stopwatch: the
+single service must show cache *thrash* (misses >> capacity) and the
+fleet workers must show cache *hits*, and every score returned by either
+tier must be exactly equal, because a fast wrong answer proves nothing.
+
+The load generator reports sustained req/s plus client-side p50/p99
+latency for both tiers.  Refreshing the checked-in machine-readable
+``BENCH_SERVING.json`` snapshot is **opt-in** — set
+``REPRO_BENCH_WRITE=1`` on a quiet machine — and only happens when the
+floors hold, so the snapshot can never record a regression as the new
+normal.
+"""
+
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_anomaly_dataset
+from repro.detectors.registry import make_detector
+from repro.serving import ModelStore, ScoringFleet, ScoringService, save_model
+
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_SERVING.json"
+
+N_MODELS = 16           # > CACHE_SIZE: the single service must thrash
+CACHE_SIZE = 6          # per process; covers every 4-worker shard (max 5)
+N_WORKERS = 4
+N_THREADS = 8
+REQUESTS_PER_THREAD = 40
+ROWS_PER_REQUEST = 4
+MIN_SPEEDUP = 2.0
+
+FLEET_OPTS = dict(cache_size=CACHE_SIZE, heartbeat_interval=0.1,
+                  monitor_interval=0.25, start_timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """``N_MODELS`` fitted HBOS models (load cost >> score cost)."""
+    root = tmp_path_factory.mktemp("scale-store")
+    ds = make_anomaly_dataset("local", n_inliers=360, n_anomalies=40,
+                              n_features=16, random_state=0)
+    X = StandardScaler().fit_transform(ds.X)
+    for i in range(N_MODELS):
+        save_model(make_detector("HBOS", random_state=i).fit(X),
+                   root / f"m{i:02d}", data=X)
+    return ModelStore(root), X
+
+
+def _drive(service, ids, X) -> dict:
+    """Mixed-model load: each thread round-robins over every model.
+
+    Thread ``t`` starts at model offset ``t``, so at any instant the
+    in-flight requests span many distinct models — the access pattern an
+    LRU of ``CACHE_SIZE < N_MODELS`` cannot serve without reloading.
+    """
+    errors = []
+    latencies = []
+    scores = {}
+    lock = threading.Lock()
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(thread_idx):
+        barrier.wait()
+        for j in range(REQUESTS_PER_THREAD):
+            model_id = ids[(thread_idx + j) % len(ids)]
+            begin = time.perf_counter()
+            try:
+                result = service.score(model_id, X[:ROWS_PER_REQUEST])
+            except Exception as exc:  # pragma: no cover - fails the guard
+                errors.append(exc)
+                return
+            took = time.perf_counter() - begin
+            with lock:
+                latencies.append(took)
+                scores[(model_id, thread_idx, j)] = result
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(N_THREADS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, f"scoring failed under load: {errors[:1]}"
+    n = N_THREADS * REQUESTS_PER_THREAD
+    assert len(scores) == n
+    ordered = sorted(latencies)
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "req_per_s": round(n / elapsed, 1),
+        "p50_ms": round(1e3 * ordered[n // 2], 3),
+        "p99_ms": round(1e3 * ordered[int(n * 0.99)], 3),
+        "scores": scores,
+    }
+
+
+def test_fleet_throughput_scales(store):
+    store, X = store
+    ids = store.ids()
+    expected = {model_id: store.load(model_id).score_samples(
+        X[:ROWS_PER_REQUEST]) for model_id in ids}
+
+    with ScoringService(store, cache_size=CACHE_SIZE) as single:
+        _drive(single, ids, X)              # warm-up: fill the LRU
+        single_run = _drive(single, ids, X)
+        single_stats = single.stats()
+    with ScoringFleet(store, n_workers=N_WORKERS, **FLEET_OPTS) as fleet:
+        _drive(fleet, ids, X)               # warm-up: settle heartbeats
+        fleet_run = _drive(fleet, ids, X)
+        fleet_stats = fleet.stats()
+
+    # Exactness first: both tiers must return the reference scores for
+    # every single request.
+    for run in (single_run, fleet_run):
+        for (model_id, _, _), got in run.pop("scores").items():
+            assert np.array_equal(got, expected[model_id]), model_id
+
+    # The mechanism, not just the stopwatch: the single service thrashed
+    # its LRU while the fleet's shards stayed warm.
+    n = N_THREADS * REQUESTS_PER_THREAD
+    assert single_stats["cache_misses"] > n / 2, single_stats
+    worker_misses = sum(
+        w.get("service", {}).get("cache_misses", 0)
+        for w in fleet_stats["workers"].values())
+    assert worker_misses <= N_MODELS * 2, fleet_stats["workers"]
+
+    speedup = single_run["elapsed_s"] / fleet_run["elapsed_s"]
+    print(f"\nserving scale: single {single_run['req_per_s']:.0f} req/s "
+          f"(p99 {single_run['p99_ms']:.1f} ms) / fleet x{N_WORKERS} "
+          f"{fleet_run['req_per_s']:.0f} req/s "
+          f"(p99 {fleet_run['p99_ms']:.1f} ms) = {speedup:.2f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-worker fleet only {speedup:.2f}x faster than a single "
+        f"service under mixed-model load (floor {MIN_SPEEDUP}x): shard "
+        f"warm-start or cache sizing has regressed"
+    )
+
+    _maybe_write_snapshot(single_run, fleet_run, speedup)
+
+
+def _maybe_write_snapshot(single_run, fleet_run, speedup) -> None:
+    # Opt-in (timings drift run to run), and only after the floors held
+    # above — the snapshot must never normalise a regression.
+    if os.environ.get("REPRO_BENCH_WRITE", "") != "1":
+        print(f"{SNAPSHOT.name} left untouched "
+              f"(set REPRO_BENCH_WRITE=1 to refresh the snapshot)")
+        return
+    snapshot = {
+        "benchmark": "serving scale: 4-worker fleet vs single service",
+        "note": "one-core box: the fleet wins on aggregate warm cache "
+                "capacity under mixed-model load, not CPU parallelism",
+        "config": {"n_models": N_MODELS, "cache_size": CACHE_SIZE,
+                   "n_workers": N_WORKERS, "threads": N_THREADS,
+                   "requests_per_thread": REQUESTS_PER_THREAD,
+                   "rows_per_request": ROWS_PER_REQUEST},
+        "env": {"python": platform.python_version(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count()},
+        "single": single_run,
+        "fleet": fleet_run,
+        "speedup": round(speedup, 2),
+        "floor": MIN_SPEEDUP,
+    }
+    SNAPSHOT.write_text(json.dumps(snapshot, indent=1) + "\n")
+    print(f"wrote {SNAPSHOT}")

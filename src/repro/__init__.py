@@ -43,7 +43,7 @@ from repro.kernels import cache_stats, set_num_threads
 from repro.metrics import auc_roc, average_precision
 from repro.runtime import Executor, RunContext
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "UADBooster",

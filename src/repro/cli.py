@@ -18,6 +18,7 @@ save                   fit a source detector (name or ``--spec``) and
                        persist it as an artifact
 load-score             load a saved artifact and score a dataset with it
 serve                  serve saved models over a JSON HTTP API
+                       (``--workers N`` boots the sharded scoring fleet)
 runtime-info           print the resolved execution context (each field's
                        value and which resolution layer decided it)
 
@@ -167,10 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8000,
                    help="TCP port (0 binds an ephemeral port)")
     p.add_argument("--cache-size", type=_positive_int, default=4,
-                   help="models kept loaded in the LRU cache")
+                   help="models kept loaded in the LRU cache (per worker "
+                        "in fleet mode)")
     p.add_argument("--no-micro-batch", action="store_true",
                    help="score each request individually (diagnostic; "
                         "micro-batching is the fast default)")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   metavar="N",
+                   help="fleet mode: N sharded scorer worker processes "
+                        "(consistent hashing on model id, supervised "
+                        "restarts, backpressure; scores identical to the "
+                        "default in-process service)")
     p = sub.add_parser("runtime-info",
                        help="print the resolved execution context")
     p.add_argument("--json", action="store_true", dest="as_json",
@@ -401,15 +409,20 @@ def _cmd_serve(args, out) -> int:
 
     def ready(server):
         host, port = server.server_address[:2]
-        out.write(f"serving {len(ids)} model(s) at http://{host}:{port}\n")
+        mode = f"fleet of {args.workers} workers" if args.workers \
+            else "in-process service"
+        out.write(f"serving {len(ids)} model(s) at http://{host}:{port} "
+                  f"({mode})\n")
         for model_id in ids:
             out.write(f"  {model_id}\n")
-        out.write("endpoints: GET /healthz  GET /models  POST /score\n")
+        out.write("endpoints: GET /healthz  GET /models  GET /stats  "
+                  "POST /score\n")
         if hasattr(out, "flush"):
             out.flush()
 
     try:
         serve(store, host=args.host, port=args.port, ready=ready,
+              workers=args.workers,
               cache_size=args.cache_size,
               micro_batch=not args.no_micro_batch)
     except OSError as exc:

@@ -13,8 +13,9 @@ One layer answers every "how should this run?" question in the repo:
   index, and a parent's thread budget is split cooperatively across
   workers, so nested parallelism degrades to sane budgets instead of
   oversubscribing.
-* :func:`map_blocks` / :func:`start_worker` — the kernel fan-out and
-  long-lived-worker primitives built on the same two pieces.
+* :func:`map_blocks` / :func:`start_worker` / :func:`start_process` —
+  the kernel fan-out and long-lived-worker primitives (thread- and
+  process-flavoured) built on the same two pieces.
 
 Every knob except ``seed`` is guaranteed results-neutral: backends,
 budgets, and caches change wall-clock time and provenance metadata only.
@@ -42,7 +43,7 @@ from repro.runtime.context import (
     snapshot,
 )
 from repro.runtime.executor import BACKENDS, Executor, map_blocks, \
-    start_worker
+    start_process, start_worker
 
 __all__ = [
     "BACKENDS",
@@ -63,6 +64,7 @@ __all__ = [
     "resolved",
     "scoped_context",
     "snapshot",
+    "start_process",
     "start_worker",
 ]
 

@@ -30,6 +30,7 @@ the serialized context and activate it before running the task.
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 from concurrent.futures import (
     ProcessPoolExecutor,
@@ -45,7 +46,8 @@ from repro.runtime.context import (
     scoped_context,
 )
 
-__all__ = ["BACKENDS", "Executor", "map_blocks", "start_worker"]
+__all__ = ["BACKENDS", "Executor", "map_blocks", "start_process",
+           "start_worker"]
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -204,6 +206,35 @@ def map_blocks(fn, blocks) -> None:
             fn(block)
         return
     Executor("thread", max_workers=n_threads).map(fn, blocks)
+
+
+def _process_worker_main(ctx_fields: dict, fn, args, kwargs):
+    """Entry point of a spawned worker process: activate the shipped
+    context, then run ``fn`` under it for the process's whole lifetime."""
+    with RunContext(**ctx_fields):
+        fn(*args, **kwargs)
+
+
+def start_process(fn, *args, name: str | None = None,
+                  daemon: bool = True, **kwargs) -> multiprocessing.Process:
+    """A long-lived worker process carrying the caller's context.
+
+    The process-side twin of :func:`start_worker` — the sanctioned way to
+    spawn a standalone worker process (e.g. a scoring-fleet shard owner)
+    instead of constructing one by hand: the caller's fully merged
+    :class:`RunContext` (scoped fields over the process-global base — the
+    child has no base of its own) is serialized, shipped, and activated
+    around ``fn``, exactly like :class:`Executor`'s process backend does
+    for its pool workers.  ``fn`` must be a picklable module-level
+    callable; the started :class:`multiprocessing.Process` is returned
+    for lifecycle management (join / terminate / liveness checks).
+    """
+    ctx_fields = current_context().to_dict()
+    process = multiprocessing.Process(
+        target=_process_worker_main, args=(ctx_fields, fn, args, kwargs),
+        name=name, daemon=daemon)
+    process.start()
+    return process
 
 
 def start_worker(fn, *, name: str | None = None,

@@ -20,13 +20,18 @@ on-disk objects and serves them:
   an LRU cache of loaded models plus a micro-batching queue that coalesces
   concurrent ``score(model_id, X)`` calls into one batched predict.
 * :mod:`repro.serving.server` — a stdlib-only threaded JSON HTTP API
-  (``/models``, ``/score``, ``/healthz``) over a model store, wired to the
-  ``repro serve`` CLI command.
+  (``/models``, ``/score``, ``/healthz``, ``/stats``) over a model store,
+  wired to the ``repro serve`` CLI command.
+* :mod:`repro.serving.fleet` — the production scoring tier:
+  :class:`~repro.serving.fleet.ScoringFleet` runs N shard-owning worker
+  processes (consistent hashing on model id) behind a routing frontend
+  with bounded admission/backpressure, crash-restart supervision, and
+  aggregated fleet stats — scores exactly equal to the single service.
 
 End-to-end::
 
     repro boost IForest cardio --save model/      # persist the booster
-    repro serve model/ --port 8000                # serve it
+    repro serve model/ --port 8000 --workers 4    # serve it (fleet mode)
     curl -d '{"X": [[0.1, 0.2, ...]]}' http://127.0.0.1:8000/score
 """
 
@@ -37,13 +42,23 @@ from repro.serving.artifacts import (
     read_manifest,
     save_model,
 )
+from repro.serving.fleet import (
+    FleetOverloadedError,
+    HashRing,
+    ScoringFleet,
+    WorkerCrashedError,
+)
 from repro.serving.server import build_server, serve
 from repro.serving.service import ScoringService
 
 __all__ = [
     "ArtifactError",
+    "FleetOverloadedError",
+    "HashRing",
     "ModelStore",
+    "ScoringFleet",
     "ScoringService",
+    "WorkerCrashedError",
     "build_server",
     "load_model",
     "read_manifest",

@@ -1,0 +1,50 @@
+"""repro.serving.fleet — the multi-worker sharded scoring tier.
+
+One in-process :class:`~repro.serving.service.ScoringService` is a
+single GIL, a single model cache, and a single failure domain.  This
+package scales it out while keeping its exact scores:
+
+* :mod:`~repro.serving.fleet.sharding` — :class:`HashRing`, the
+  deterministic consistent-hash assignment of model ids onto workers
+  (stable across processes; membership changes move only the changed
+  worker's models).
+* :mod:`~repro.serving.fleet.worker` — the worker process: a shard-owning
+  ScoringService that warm-starts its models at boot, coalesces incoming
+  requests through the existing micro-batch queue, and heartbeats stats.
+* :mod:`~repro.serving.fleet.supervisor` — lifecycle: spawn via
+  :func:`repro.runtime.start_process` (serialized RunContext activated in
+  the child), liveness monitoring, crash restarts with per-incarnation
+  queues, fail-fast for in-flight requests of a dead worker.
+* :mod:`~repro.serving.fleet.frontend` — :class:`ScoringFleet`: routing
+  over live membership, bounded admission with explicit backpressure
+  (:class:`FleetOverloadedError` -> HTTP 503 + ``Retry-After``),
+  per-model QoS caps, and aggregated fleet observability
+  (:meth:`~ScoringFleet.stats` / ``GET /stats``).
+
+End-to-end::
+
+    repro serve models/ --workers 4 --port 8000
+    curl http://127.0.0.1:8000/stats
+
+Determinism: fleet scores are exactly ``np.array_equal`` to
+single-process ScoringService scores for any worker count.
+"""
+
+from repro.serving.fleet.frontend import FleetOverloadedError, ScoringFleet
+from repro.serving.fleet.sharding import HashRing
+from repro.serving.fleet.supervisor import (
+    Supervisor,
+    WorkerCrashedError,
+    WorkerHandle,
+)
+from repro.serving.fleet.worker import worker_main
+
+__all__ = [
+    "FleetOverloadedError",
+    "HashRing",
+    "ScoringFleet",
+    "Supervisor",
+    "WorkerCrashedError",
+    "WorkerHandle",
+    "worker_main",
+]

@@ -1,0 +1,301 @@
+"""ScoringFleet: the multi-worker sharded scoring frontend.
+
+The fleet-mode replacement for a single in-process
+:class:`~repro.serving.service.ScoringService`: N scorer worker
+*processes*, each owning the model shard that deterministic consistent
+hashing assigns it, behind one frontend that
+
+* **routes** every request to its model's shard owner (live-membership
+  consistent hashing: a crashed worker's models are served by ring
+  successors until the supervisor's replacement is ready — placement
+  never changes scores, so re-routing is invisible in the results);
+* **admits** requests through explicit bounds instead of unbounded
+  buffering: a per-worker in-flight cap (queue depth) and a per-model
+  in-flight cap (QoS — one hot model cannot monopolise every worker
+  slot).  Over-cap requests are rejected *immediately* with
+  :class:`FleetOverloadedError` carrying a ``retry_after`` hint, which
+  the HTTP layer turns into ``503`` + ``Retry-After``;
+* **observes**: :meth:`stats` aggregates per-worker heartbeat stats
+  (queue depth, batch sizes, cache hit rates, p50/p99 latency, restarts)
+  with frontend counters (rejections, re-routes) — served over HTTP as
+  ``GET /stats``.
+
+Determinism bar: for any worker count, a request scored through the
+fleet returns exactly (``np.array_equal``) the scores the single-process
+service returns — workers *are* ScoringServices over the same artifacts,
+and placement/queueing affect only latency.  ``tests/serving/``
+asserts this for 1/2/4 workers.
+
+The API is duck-compatible with :class:`ScoringService` (``score`` /
+``models`` / ``stats`` / ``close`` / ``store``), so the HTTP server and
+CLI swap one for the other behind a ``--workers N`` flag.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from pathlib import Path
+
+from repro.runtime import snapshot as _runtime_snapshot
+from repro.serving.artifacts import ArtifactError, ModelStore
+from repro.serving.fleet.sharding import HashRing
+from repro.serving.fleet.supervisor import Supervisor, WorkerCrashedError
+from repro.serving.service import as_score_matrix
+
+__all__ = ["FleetOverloadedError", "ScoringFleet"]
+
+#: Worker-reported error type name -> local exception type.  Everything
+#: else is rebuilt as RuntimeError with the type name prefixed.
+_ERROR_TYPES = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "RuntimeError": RuntimeError,
+    "ArtifactError": ArtifactError,
+    "LookupError": LookupError,
+}
+
+
+class FleetOverloadedError(RuntimeError):
+    """Request rejected at admission: an in-flight cap is full.
+
+    Backpressure by explicit reject — the caller is told *when* to come
+    back (``retry_after`` seconds, an estimate from the current queue
+    depth and recent per-request latency) instead of the fleet buffering
+    unboundedly and timing everyone out.
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def _rebuild_error(error: tuple) -> Exception:
+    type_name, message = error
+    exc_type = _ERROR_TYPES.get(type_name)
+    if exc_type is not None:
+        return exc_type(message)
+    return RuntimeError(f"{type_name}: {message}")
+
+
+class ScoringFleet:
+    """Multi-process sharded scoring tier over a :class:`ModelStore`.
+
+    Parameters
+    ----------
+    store : ModelStore, str, or Path
+        The artifact store every worker loads from.
+    n_workers : int
+        Scorer worker processes.  Each owns the model shard consistent
+        hashing assigns it and warm-starts that shard at boot.
+    cache_size, max_batch_rows, micro_batch
+        Forwarded to each worker's :class:`ScoringService` — a fleet
+        worker *is* the single-process service, shard-scoped.
+    max_inflight_per_worker : int
+        Bounded admission queue per worker; requests beyond it are
+        rejected with :class:`FleetOverloadedError` (backpressure).
+    max_inflight_per_model : int
+        Per-model QoS cap: one model's burst cannot occupy more than
+        this many slots fleet-wide.
+    replicas : int
+        Consistent-hash virtual nodes per worker.
+    heartbeat_interval, monitor_interval : float
+        Worker stats push period / supervisor liveness poll period.
+    start_timeout : float
+        Boot deadline for all ready handshakes.
+    request_timeout : float
+        Upper bound a caller waits on one in-flight request before it is
+        failed as crashed (covers the unobservable lost-message window
+        around a worker death).
+    """
+
+    def __init__(self, store, n_workers: int = 2, *, cache_size: int = 4,
+                 max_batch_rows: int = 8192, micro_batch: bool = True,
+                 max_inflight_per_worker: int = 64,
+                 max_inflight_per_model: int = 32,
+                 replicas: int = 64, heartbeat_interval: float = 0.25,
+                 monitor_interval: float = 0.25,
+                 start_timeout: float = 60.0,
+                 request_timeout: float = 120.0):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_inflight_per_worker < 1 or max_inflight_per_model < 1:
+            raise ValueError("in-flight caps must be >= 1")
+        if isinstance(store, (str, Path)):
+            store = ModelStore(store)
+        self.store = store
+        self.n_workers = int(n_workers)
+        self.max_inflight_per_worker = int(max_inflight_per_worker)
+        self.max_inflight_per_model = int(max_inflight_per_model)
+        self.request_timeout = float(request_timeout)
+        worker_ids = tuple(f"w{index}" for index in range(self.n_workers))
+        self.ring = HashRing(worker_ids, replicas=replicas)
+        shards = self.ring.shard_map(self.store.ids())
+        self._supervisor = Supervisor(
+            str(self.store.root), shards,
+            {"cache_size": cache_size, "max_batch_rows": max_batch_rows,
+             "micro_batch": micro_batch,
+             "heartbeat_interval": heartbeat_interval},
+            monitor_interval=monitor_interval, start_timeout=start_timeout)
+        self._request_ids = itertools.count()
+        self._admission_lock = threading.Lock()
+        self._model_inflight: dict = {}
+        self._counters = {"requests": 0, "rejected": 0, "errors": 0,
+                          "rerouted": 0, "crashed": 0}
+        self._runtime = _runtime_snapshot()
+        self._closed = False
+        self._supervisor.start()
+
+    # -- ScoringService-compatible surface --------------------------------
+    def models(self) -> list:
+        """Model ids available in the backing store."""
+        return self.store.ids()
+
+    def score(self, model_id: str, X):
+        """Anomaly scores of ``X`` under ``model_id`` through the fleet.
+
+        Exactly the single-service answer, for any worker count.  Raises
+        ``KeyError`` (unknown model), ``ValueError`` (malformed input),
+        :class:`FleetOverloadedError` (admission reject, retryable) or
+        :class:`WorkerCrashedError` (in-flight loss, retryable).
+        """
+        if self._closed:
+            raise RuntimeError("ScoringFleet is closed")
+        arr = as_score_matrix(X)
+        handle, rerouted = self._route(str(model_id))
+        reply, request_id = None, next(self._request_ids)
+        self._admit(str(model_id), handle, rerouted)
+        try:
+            reply = handle.submit("score", request_id, str(model_id), arr)
+            if not reply.event.wait(timeout=self.request_timeout):
+                raise WorkerCrashedError(
+                    f"request to worker {handle.worker_id} timed out "
+                    f"after {self.request_timeout:.0f}s")
+        finally:
+            self._release(str(model_id))
+        if reply.error is not None:
+            self._count("errors")
+            if isinstance(reply.error, Exception):
+                if isinstance(reply.error, WorkerCrashedError):
+                    self._count("crashed")
+                raise reply.error
+            raise _rebuild_error(reply.error)
+        return reply.value
+
+    def stats(self) -> dict:
+        """Fleet-wide observability: frontend counters + per-worker stats.
+
+        Worker entries merge the supervisor's lifecycle view (state, pid,
+        restarts, in-flight, heartbeat age) with the worker's own latest
+        heartbeat payload (micro-batch counters, cache hit rates, queue
+        depth, p50/p99 latency).  ``runtime`` is the RunContext snapshot
+        the fleet was constructed under — the context every worker
+        process activated at boot.
+        """
+        workers = {}
+        for worker_id, handle in self._supervisor.handles.items():
+            info = handle.info()
+            info.update(handle.last_stats)
+            workers[worker_id] = info
+        with self._admission_lock:
+            counters = dict(self._counters)
+        healthy = self._supervisor.healthy_ids()
+        return {
+            **counters,
+            "n_workers": self.n_workers,
+            "healthy_workers": len(healthy),
+            "total_restarts": self._supervisor.total_restarts,
+            "sharding": {"replicas": self.ring.replicas,
+                         "assignments": {
+                             model_id: self.ring.assign(model_id)
+                             for model_id in self.store.ids()}},
+            "limits": {
+                "max_inflight_per_worker": self.max_inflight_per_worker,
+                "max_inflight_per_model": self.max_inflight_per_model},
+            "workers": workers,
+            "runtime": self._runtime,
+        }
+
+    def health(self) -> dict:
+        """Compact liveness summary for ``/healthz``."""
+        return {
+            "n_workers": self.n_workers,
+            "healthy_workers": len(self._supervisor.healthy_ids()),
+            "total_restarts": self._supervisor.total_restarts,
+        }
+
+    # -- routing and admission --------------------------------------------
+    def _route(self, model_id: str):
+        """The live shard owner for ``model_id`` (+ whether re-routed)."""
+        healthy = set(self._supervisor.healthy_ids())
+        if not healthy:
+            raise FleetOverloadedError(
+                "no healthy fleet workers (restarts in progress)",
+                retry_after=1.0)
+        dead = set(self._supervisor.handles) - healthy
+        owner = self.ring.assign(model_id)
+        target = owner if owner in healthy \
+            else self.ring.assign(model_id, exclude=dead)
+        return self._supervisor.handles[target], target != owner
+
+    def _admit(self, model_id: str, handle, rerouted: bool) -> None:
+        """Bounded admission; raises FleetOverloadedError when full."""
+        depth = handle.in_flight()
+        latency = self._latency_estimate(handle)
+        with self._admission_lock:
+            model_inflight = self._model_inflight.get(model_id, 0)
+            if depth >= self.max_inflight_per_worker:
+                self._counters["rejected"] += 1
+                raise FleetOverloadedError(
+                    f"worker {handle.worker_id} queue is full "
+                    f"({depth} in flight)",
+                    retry_after=round(max(0.05, depth * latency), 3))
+            if model_inflight >= self.max_inflight_per_model:
+                self._counters["rejected"] += 1
+                raise FleetOverloadedError(
+                    f"model {model_id!r} is at its in-flight cap "
+                    f"({model_inflight})",
+                    retry_after=round(max(0.05,
+                                          model_inflight * latency), 3))
+            self._model_inflight[model_id] = model_inflight + 1
+            self._counters["requests"] += 1
+            if rerouted:
+                self._counters["rerouted"] += 1
+
+    def _release(self, model_id: str) -> None:
+        with self._admission_lock:
+            remaining = self._model_inflight.get(model_id, 1) - 1
+            if remaining <= 0:
+                self._model_inflight.pop(model_id, None)
+            else:
+                self._model_inflight[model_id] = remaining
+
+    def _count(self, key: str) -> None:
+        with self._admission_lock:
+            self._counters[key] += 1
+
+    @staticmethod
+    def _latency_estimate(handle) -> float:
+        """Recent mean per-request latency (seconds) for Retry-After."""
+        latency = handle.last_stats.get("latency") or {}
+        mean_ms = latency.get("mean_ms")
+        return (mean_ms / 1e3) if mean_ms else 0.01
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop every worker (graceful drain, then escalation)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._supervisor.close()
+
+    def __enter__(self) -> "ScoringFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

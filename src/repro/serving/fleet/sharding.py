@@ -1,0 +1,107 @@
+"""Deterministic consistent hashing: model ids onto scorer workers.
+
+The fleet assigns every model id to exactly one worker so each worker's
+LRU cache holds a disjoint shard of the store — aggregate cache capacity
+then scales with the worker count instead of every worker thrashing over
+the full model set.  The assignment must be:
+
+* **deterministic across processes** — the frontend routes and the worker
+  warm-starts from independently computed assignments, so the hash cannot
+  be Python's seeded ``hash()``; ring points are SHA-256 digests.
+* **stable under membership change** — when a worker dies, only *its*
+  models may move (to their ring successors); when it comes back (or a
+  new worker joins), only the models it owns may move.  That is the
+  classic consistent-hashing contract: each worker id is hashed onto the
+  ring at ``replicas`` points, a key belongs to the first worker point at
+  or after the key's own hash (wrapping around), and membership changes
+  perturb only the arcs adjacent to the changed worker's points.
+
+Routing around failures uses the same ring: :meth:`HashRing.assign` with
+``exclude`` walks past the dead worker's points to the next live owner,
+so a recovering shard is served by its successors — with identical
+scores, since placement never changes results — and snaps back the
+moment the worker is healthy again.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def hash_point(token: str) -> int:
+    """A stable 64-bit ring position for ``token`` (SHA-256 prefix)."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of worker ids.
+
+    Parameters
+    ----------
+    worker_ids : sequence of str
+        The fleet's worker identities (order-insensitive: the ring is a
+        pure function of the id *set*).
+    replicas : int
+        Virtual nodes per worker.  More replicas smooth the shard-size
+        distribution (64 keeps the max/mean shard ratio low for
+        single-digit fleets) at O(workers x replicas) ring size.
+    """
+
+    def __init__(self, worker_ids, replicas: int = 64):
+        ids = tuple(str(wid) for wid in worker_ids)
+        if not ids:
+            raise ValueError("HashRing needs at least one worker id")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate worker ids: {sorted(ids)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.worker_ids = tuple(sorted(ids))
+        self.replicas = int(replicas)
+        points = []
+        for wid in self.worker_ids:
+            for replica in range(self.replicas):
+                points.append((hash_point(f"{wid}#{replica}"), wid))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [wid for _, wid in points]
+
+    def assign(self, key: str, exclude=()) -> str:
+        """The worker owning ``key``: first ring point clockwise from the
+        key's hash whose worker is not in ``exclude``.
+
+        Walking past excluded workers is exactly the recovery re-route:
+        only keys owned by an excluded worker change hands, and they land
+        on their ring successors.  Raises ``LookupError`` when every
+        worker is excluded.
+        """
+        exclude = frozenset(exclude)
+        start = bisect.bisect_left(self._points, hash_point(str(key)))
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in exclude:
+                return owner
+        raise LookupError("no live worker to assign to: all excluded")
+
+    def shard_map(self, keys, exclude=()) -> dict:
+        """Every worker's sorted shard: ``{worker_id: [key, ...]}``.
+
+        Non-excluded workers all appear, even with an empty shard — a
+        worker with no models still boots, heartbeats, and picks up
+        re-routed traffic.
+        """
+        shards = {wid: [] for wid in self.worker_ids
+                  if wid not in frozenset(exclude)}
+        for key in keys:
+            shards[self.assign(key, exclude)].append(str(key))
+        for shard in shards.values():
+            shard.sort()
+        return shards
+
+    def __repr__(self) -> str:
+        return (f"HashRing(workers={list(self.worker_ids)}, "
+                f"replicas={self.replicas})")

@@ -1,0 +1,287 @@
+"""Worker lifecycle: spawn, ready-handshake, heartbeats, crash restart.
+
+The supervisor owns one :class:`WorkerHandle` per fleet worker.  A handle
+bundles everything tied to one worker *incarnation*: the process (spawned
+through :func:`repro.runtime.start_process`, so the child activates the
+fleet owner's serialized RunContext), its request/response queue pair, a
+dispatcher thread that routes responses back to waiting frontend callers,
+and the latest heartbeat.  Queues are **per-incarnation**: a SIGKILLed
+worker can die holding a queue's internal lock, so a restart always gets
+fresh pipes instead of inheriting possibly-wedged ones.
+
+The monitor thread polls process liveness every ``monitor_interval``.
+When a worker dies, its in-flight requests fail fast with
+:class:`WorkerCrashedError` (a retryable condition — the HTTP layer maps
+it to 503 + ``Retry-After``), the handle respawns with the same identity
+and shard, and the frontend routes the shard to ring successors until the
+replacement announces ``ready``.  A worker that keeps dying is given up
+on after ``max_restarts`` restarts (state ``"failed"``) so a poisoned
+shard cannot hold the fleet in a restart storm forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from queue import Empty
+
+from repro.runtime import start_process, start_worker
+from repro.serving.fleet.worker import worker_main
+
+__all__ = ["Supervisor", "WorkerCrashedError", "WorkerHandle"]
+
+#: Handle states, in lifecycle order.
+STATES = ("starting", "healthy", "failed", "closed")
+
+
+class WorkerCrashedError(RuntimeError):
+    """The worker owning this request died before answering.
+
+    Retryable: the supervisor is already restarting the worker and the
+    frontend re-routes its shard meanwhile, so an immediate retry lands
+    on a live successor.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.5):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _PendingReply:
+    """One frontend caller blocked on a worker response."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error = None
+
+    def complete(self, value, error) -> None:
+        self.value = value
+        self.error = error
+        self.event.set()
+
+
+class WorkerHandle:
+    """One worker slot: identity + shard + the current incarnation."""
+
+    def __init__(self, worker_id: str, store_root: str, shard,
+                 config: dict):
+        self.worker_id = worker_id
+        self.store_root = store_root
+        self.shard = list(shard)
+        self.config = dict(config)
+        self.state = "starting"
+        self.restarts = 0
+        self.pid = None
+        self.warm_models: list = []
+        self.last_heartbeat = None  # time.monotonic at reception
+        self.last_stats: dict = {}
+        self.process = None
+        self.request_q = None
+        self.response_q = None
+        self._pending: dict = {}
+        self._lock = threading.Lock()
+        self._dispatcher_stop = None
+        self._ready = threading.Event()
+
+    # -- incarnation management -------------------------------------------
+    def spawn(self) -> None:
+        """Start a fresh incarnation: new queues, process, dispatcher."""
+        self._stop_dispatcher()
+        # Requests that slipped into the previous incarnation's queue
+        # between crash detection and respawn are unrecoverable: fail
+        # them retryably rather than leaving their callers parked until
+        # the request timeout.
+        self.fail_pending(WorkerCrashedError(
+            f"worker {self.worker_id} restarted; retry"))
+        # Heartbeat stats describe the previous (dead) incarnation — a
+        # stale pid or latency profile must not survive into the new one.
+        self.last_stats = {}
+        self.pid = None
+        self.warm_models = []
+        self._ready = threading.Event()
+        self.request_q = multiprocessing.Queue()
+        self.response_q = multiprocessing.Queue()
+        self.state = "starting"
+        self.process = start_process(
+            worker_main, self.worker_id, self.store_root, list(self.shard),
+            self.request_q, self.response_q, self.config,
+            name=f"repro-fleet-{self.worker_id}")
+        stop = threading.Event()
+        self._dispatcher_stop = stop
+        start_worker(
+            lambda: self._dispatch_loop(self.response_q, stop),
+            name=f"repro-fleet-{self.worker_id}-dispatch")
+
+    def _dispatch_loop(self, response_q, stop: threading.Event) -> None:
+        while not stop.is_set():
+            try:
+                message = response_q.get(timeout=0.1)
+            except (Empty, OSError, EOFError):
+                continue
+            kind = message[0]
+            if kind == "result":
+                _, request_id, value, error = message
+                with self._lock:
+                    reply = self._pending.pop(request_id, None)
+                if reply is not None:
+                    reply.complete(value, error)
+            elif kind == "heartbeat":
+                self.last_heartbeat = time.monotonic()
+                self.last_stats = message[2]
+            elif kind == "ready":
+                self.pid = message[2]
+                self.warm_models = list(message[3])
+                self.last_heartbeat = time.monotonic()
+                if self.state == "starting":
+                    self.state = "healthy"
+                self._ready.set()
+            # "bye" needs no action: close() joins on the process itself.
+
+    def _stop_dispatcher(self) -> None:
+        if self._dispatcher_stop is not None:
+            self._dispatcher_stop.set()
+            self._dispatcher_stop = None
+
+    # -- request plumbing --------------------------------------------------
+    def submit(self, kind: str, request_id: int, *payload) -> _PendingReply:
+        """Enqueue a request and return the reply slot to wait on."""
+        reply = _PendingReply()
+        with self._lock:
+            self._pending[request_id] = reply
+        try:
+            self.request_q.put((kind, request_id, *payload))
+        except Exception as exc:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise WorkerCrashedError(
+                f"worker {self.worker_id} is unreachable: {exc}") from exc
+        return reply
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def fail_pending(self, exc: Exception) -> None:
+        """Complete every in-flight request with ``exc`` (crash path)."""
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for reply in pending:
+            reply.complete(None, exc)
+
+    # -- lifecycle ---------------------------------------------------------
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def mark_crashed(self) -> None:
+        self.fail_pending(WorkerCrashedError(
+            f"worker {self.worker_id} (pid {self.pid}) died; "
+            f"its shard is being restarted"))
+        self._stop_dispatcher()
+        self._drop_queues()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Graceful stop: drain sentinel, join, escalate if ignored."""
+        self.state = "closed"
+        try:
+            self.request_q.put(("stop",))
+        except Exception:
+            pass
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        self._stop_dispatcher()
+        self.fail_pending(RuntimeError("scoring fleet is closed"))
+        self._drop_queues()
+
+    def _drop_queues(self) -> None:
+        for q in (self.request_q, self.response_q):
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+
+    def info(self) -> dict:
+        """Health/observability snapshot for ``fleet.stats()``."""
+        age = None if self.last_heartbeat is None else \
+            round(time.monotonic() - self.last_heartbeat, 3)
+        return {
+            "state": self.state,
+            "pid": self.pid,
+            "shard": list(self.shard),
+            "warm_models": list(self.warm_models),
+            "restarts": self.restarts,
+            "in_flight": self.in_flight(),
+            "heartbeat_age_s": age,
+        }
+
+
+class Supervisor:
+    """Spawns the worker set, restarts crashed members, reports health."""
+
+    def __init__(self, store_root: str, shards: dict, config: dict, *,
+                 monitor_interval: float = 0.25, start_timeout: float = 60.0,
+                 max_restarts: int = 20):
+        self.handles = {
+            worker_id: WorkerHandle(worker_id, store_root, shard, config)
+            for worker_id, shard in sorted(shards.items())
+        }
+        self.monitor_interval = float(monitor_interval)
+        self.start_timeout = float(start_timeout)
+        self.max_restarts = int(max_restarts)
+        self.total_restarts = 0
+        self._stop = threading.Event()
+        self._closed = False
+
+    def start(self) -> None:
+        """Spawn every worker and wait for all ready handshakes."""
+        for handle in self.handles.values():
+            handle.spawn()
+        deadline = time.monotonic() + self.start_timeout
+        for handle in self.handles.values():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not handle._ready.wait(timeout=remaining):
+                self.close()
+                raise RuntimeError(
+                    f"fleet worker {handle.worker_id} failed to become "
+                    f"ready within {self.start_timeout:.1f}s")
+        start_worker(self._monitor_loop, name="repro-fleet-monitor")
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.monitor_interval):
+            for handle in self.handles.values():
+                if handle.state in ("closed", "failed"):
+                    continue
+                if handle.is_alive():
+                    continue
+                handle.mark_crashed()
+                handle.restarts += 1
+                self.total_restarts += 1
+                if handle.restarts > self.max_restarts:
+                    handle.state = "failed"
+                    continue
+                handle.spawn()
+
+    def healthy_ids(self) -> list:
+        return [worker_id for worker_id, handle in self.handles.items()
+                if handle.state == "healthy" and handle.is_alive()]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        for handle in self.handles.values():
+            handle.close()

@@ -1,0 +1,201 @@
+"""Fleet worker process: one shard-owning ScoringService behind queues.
+
+A worker is a standalone process (spawned via
+:func:`repro.runtime.start_process`, so it activates the fleet owner's
+serialized :class:`~repro.runtime.RunContext` before doing anything
+else) running :func:`worker_main`:
+
+1. build a :class:`~repro.serving.service.ScoringService` over the
+   artifact store — the worker reuses the exact micro-batching scorer the
+   single-process service runs, which is what makes fleet scores
+   identical to single-service scores;
+2. **warm-start** its shard: pre-load the shard's model artifacts (up to
+   the LRU capacity) so the first request after boot — or after a crash
+   restart — never pays deserialisation latency;
+3. announce ``ready`` and loop: pull messages off the request queue and
+   feed ``score`` requests into the service's micro-batch queue via the
+   non-blocking :meth:`~repro.serving.service.ScoringService.submit` —
+   the receive loop never waits on a predict, so queued requests coalesce
+   into batches exactly as in-process callers' would;
+4. heartbeat: a side thread pushes per-worker stats (queue depth, batch
+   sizes, cache hit rates, p50/p99 latency) to the supervisor every
+   ``heartbeat_interval`` seconds.
+
+Wire protocol (multiprocessing queues, one pair per worker)
+-----------------------------------------------------------
+frontend -> worker::
+
+    ("score", request_id, model_id, X)     score a request
+    ("stats", request_id)                  fresh stats snapshot
+    ("stop",)                              drain + graceful exit
+
+worker -> frontend::
+
+    ("ready", worker_id, pid, warm_ids)    boot handshake
+    ("result", request_id, scores, None)   success
+    ("result", request_id, None, (etype, msg))   failure, by value
+    ("heartbeat", worker_id, stats)        periodic observability push
+    ("bye", worker_id)                     graceful-exit acknowledgement
+
+Errors cross the process boundary as ``(exception type name, message)``
+pairs — never pickled exception objects, whose round-trip behaviour is
+type-dependent — and are rebuilt into the matching built-in type on the
+frontend side.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+from repro.serving.artifacts import ModelStore
+from repro.serving.service import ScoringService
+
+__all__ = ["latency_summary", "worker_main"]
+
+#: Per-worker rolling window of request latencies (seconds).
+LATENCY_WINDOW = 4096
+
+
+def latency_summary(samples) -> dict:
+    """p50/p99/mean over a latency window, in milliseconds."""
+    samples = sorted(samples)
+    if not samples:
+        return {"count": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None}
+    n = len(samples)
+
+    def pct(q: float) -> float:
+        return round(samples[min(n - 1, int(q * n))] * 1e3, 3)
+
+    return {
+        "count": n,
+        "p50_ms": pct(0.50),
+        "p99_ms": pct(0.99),
+        "mean_ms": round(sum(samples) / n * 1e3, 3),
+    }
+
+
+class _WorkerState:
+    """Mutable counters shared between the loop, callbacks, heartbeat."""
+
+    def __init__(self, worker_id: str, shard, service: ScoringService):
+        self.worker_id = worker_id
+        self.shard = list(shard)
+        self.service = service
+        self.lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.latencies = deque(maxlen=LATENCY_WINDOW)
+        self.warm_ids: list = []
+
+    def stats(self) -> dict:
+        with self.lock:
+            latency = latency_summary(self.latencies)
+            requests, errors = self.requests, self.errors
+        return {
+            "pid": os.getpid(),
+            "shard": list(self.shard),
+            "warm_models": list(self.warm_ids),
+            "requests": requests,
+            "errors": errors,
+            "latency": latency,
+            "service": self.service.stats(),
+        }
+
+
+def _encode_error(exc: BaseException) -> tuple:
+    message = str(exc.args[0]) if exc.args else str(exc)
+    return (type(exc).__name__, message)
+
+
+def worker_main(worker_id: str, store_root: str, shard, request_q,
+                response_q, config: dict) -> None:
+    """Run one fleet worker until a ``("stop",)`` sentinel arrives.
+
+    ``config`` carries the per-worker service knobs (``cache_size``,
+    ``max_batch_rows``, ``micro_batch``) plus ``heartbeat_interval``.
+    Every failure mode is reported by value: a model that cannot load, a
+    malformed request, a scoring error — the worker itself stays up.  A
+    worker only *dies* on truly fatal events (killed, store unreadable at
+    boot), which the supervisor handles by restarting it.
+    """
+    heartbeat_interval = float(config.get("heartbeat_interval", 0.25))
+    service = ScoringService(
+        ModelStore(store_root),
+        cache_size=int(config.get("cache_size", 4)),
+        max_batch_rows=int(config.get("max_batch_rows", 8192)),
+        micro_batch=bool(config.get("micro_batch", True)),
+    )
+    state = _WorkerState(worker_id, shard, service)
+
+    # Warm start: load the shard's models (hottest-first = shard order)
+    # up to LRU capacity; beyond that a load would only evict another
+    # warm model.  A model that fails to load is skipped — it will fail
+    # per-request with a structured error instead of killing the boot.
+    for model_id in state.shard[:service.cache_size]:
+        try:
+            service.get_model(model_id)
+        except Exception:
+            continue
+        state.warm_ids.append(model_id)
+
+    stop_heartbeat = threading.Event()
+
+    def heartbeat_loop() -> None:
+        while not stop_heartbeat.wait(heartbeat_interval):
+            try:
+                response_q.put(("heartbeat", worker_id, state.stats()))
+            except Exception:
+                return  # queue torn down: the fleet is closing
+
+    heartbeat = threading.Thread(target=heartbeat_loop,
+                                 name=f"repro-fleet-{worker_id}-heartbeat",
+                                 daemon=True)
+    heartbeat.start()
+    response_q.put(("ready", worker_id, os.getpid(), list(state.warm_ids)))
+
+    try:
+        while True:
+            message = request_q.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "stats":
+                response_q.put(("result", message[1], state.stats(), None))
+                continue
+            if kind != "score":
+                continue  # unknown message kinds are skipped, not fatal
+            _, request_id, model_id, X = message
+            started = time.perf_counter()
+
+            def deliver(scores, error, request_id=request_id,
+                        started=started):
+                latency = time.perf_counter() - started
+                with state.lock:
+                    state.requests += 1
+                    state.latencies.append(latency)
+                    if error is not None:
+                        state.errors += 1
+                if error is not None:
+                    response_q.put(("result", request_id, None,
+                                    _encode_error(error)))
+                else:
+                    response_q.put(("result", request_id, scores, None))
+
+            try:
+                service.submit(model_id, X, deliver)
+            except Exception as exc:
+                # Validation failed before the queue: deliver by hand.
+                deliver(None, exc)
+    finally:
+        # Graceful drain: close() answers everything already queued (the
+        # submit callbacks flush those results out), then the worker
+        # acknowledges and exits.
+        service.close()
+        stop_heartbeat.set()
+        try:
+            response_q.put(("bye", worker_id))
+        except Exception:
+            pass

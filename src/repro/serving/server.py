@@ -1,25 +1,39 @@
-"""Stdlib-only JSON HTTP API over a :class:`ScoringService`.
+"""Stdlib-only JSON HTTP API over a scoring service or fleet.
 
 Endpoints
 ---------
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "models": [...]}``.
+    Liveness: ``{"status": "ok", "models": [...]}`` (+ worker health in
+    fleet mode).
 ``GET /models``
     Manifest summaries of every model in the store.
+``GET /stats``
+    Service/fleet observability counters (micro-batch coalescing, cache
+    hit rates; in fleet mode per-worker queue depth, latency
+    percentiles, restarts).
 ``POST /score``
     Body ``{"model_id": "...", "X": [[...], ...]}`` -> ``{"model_id",
     "n", "scores"}``.  ``model_id`` may be omitted when the store serves a
     single model.
 
+Every error — client mistakes *and* unexpected server faults — is a
+structured JSON body ``{"error": ...}`` with the right status code (400
+malformed request, 404 unknown model/path, 503 + ``Retry-After`` for
+fleet backpressure, 500 for anything unexpected); an HTML traceback page
+never leaks to a client.
+
 The server is ``http.server.ThreadingHTTPServer`` — one thread per
 connection — so concurrent ``/score`` requests land in the service's
 micro-batching queue together and are coalesced into stacked predict
-calls.  No third-party web framework is required, keeping the serving
-stack importable anywhere the library is.
+calls.  With ``workers=N`` the attached service is a
+:class:`~repro.serving.fleet.ScoringFleet` instead of the in-process
+:class:`ScoringService`; the handler code is identical because the two
+share one surface.  No third-party web framework is required, keeping
+the serving stack importable anywhere the library is.
 
-Started from the CLI as ``repro serve <store> --port 8000``; in code, use
-:func:`build_server` (returns the unstarted server for tests / embedding)
-or :func:`serve` (blocks).
+Started from the CLI as ``repro serve <store> --port 8000 [--workers N]``;
+in code, use :func:`build_server` (returns the unstarted server for
+tests / embedding) or :func:`serve` (blocks).
 """
 
 from __future__ import annotations
@@ -32,6 +46,8 @@ import numpy as np
 
 import repro
 from repro.serving.artifacts import ArtifactError
+from repro.serving.fleet.frontend import FleetOverloadedError, ScoringFleet
+from repro.serving.fleet.supervisor import WorkerCrashedError
 from repro.serving.service import ScoringService
 
 __all__ = ["build_server", "serve", "shutdown_all"]
@@ -45,6 +61,10 @@ _RUNNING: "weakref.WeakSet" = weakref.WeakSet()
 class _ServingHandler(BaseHTTPRequestHandler):
     server_version = f"repro-serving/{repro.__version__}"
     protocol_version = "HTTP/1.1"
+    # Even stdlib-generated errors (malformed request line, unsupported
+    # method) must be structured JSON, never the default HTML page.
+    error_content_type = "application/json"
+    error_message_format = '{"error": "%(code)d %(message)s"}'
 
     # Route stderr chatter through the server's quiet flag.
     def log_message(self, fmt, *args):
@@ -55,24 +75,61 @@ class _ServingHandler(BaseHTTPRequestHandler):
     def service(self) -> ScoringService:
         return self.server.service
 
-    def _send_json(self, code: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_json(self, code: int, payload: dict,
+                   headers: dict | None = None) -> None:
+        # default=str: stats payloads may carry numpy scalars or Paths —
+        # an observability endpoint must not 500 over a repr-able value.
+        body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, code: int, message: str) -> None:
-        self._send_json(code, {"error": message})
+    def _send_error_json(self, code: int, message: str,
+                         headers: dict | None = None) -> None:
+        self._send_json(code, {"error": message}, headers=headers)
+
+    def _guarded(self, handler) -> None:
+        """Run a request handler; unexpected faults become JSON 500s.
+
+        A bug anywhere below the HTTP layer must surface to the client
+        as ``{"error": ...}`` with status 500 — never as a connection
+        drop or an HTML traceback page.  If the response was already
+        partially written the connection is beyond repair and is simply
+        closed.
+        """
+        try:
+            handler()
+        except Exception as exc:  # noqa: BLE001 - the last line of defence
+            try:
+                self.close_connection = True
+                self._send_error_json(
+                    500, f"internal error: {type(exc).__name__}: {exc}")
+            except Exception:
+                pass
 
     def do_GET(self):  # noqa: N802 - http.server API
+        self._guarded(self._handle_get)
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        self._guarded(self._handle_post)
+
+    def _handle_get(self):
         if self.path == "/healthz":
-            self._send_json(200, {
+            payload = {
                 "status": "ok",
                 "version": repro.__version__,
                 "models": self.service.models(),
-            })
+            }
+            health = getattr(self.service, "health", None)
+            if callable(health):  # fleet mode: worker liveness summary
+                payload["fleet"] = health()
+            self._send_json(200, payload)
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats())
         elif self.path == "/models":
             models = []
             for model_id in self.service.models():
@@ -93,7 +150,7 @@ class _ServingHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
-    def do_POST(self):  # noqa: N802 - http.server API
+    def _handle_post(self):
         if self.path != "/score":
             self._send_error_json(404, f"unknown path {self.path!r}")
             return
@@ -135,6 +192,14 @@ class _ServingHandler(BaseHTTPRequestHandler):
         except KeyError as exc:
             self._send_error_json(404, str(exc.args[0] if exc.args else exc))
             return
+        except (FleetOverloadedError, WorkerCrashedError) as exc:
+            # Backpressure / recovery: explicit retryable reject.  The
+            # Retry-After hint tells well-behaved clients when the queue
+            # (or the restarted worker) is expected to have room again.
+            retry_after = getattr(exc, "retry_after", 0.5)
+            self._send_error_json(
+                503, str(exc), headers={"Retry-After": f"{retry_after:g}"})
+            return
         except (ValueError, TypeError, RuntimeError, ArtifactError) as exc:
             self._send_error_json(400, str(exc))
             return
@@ -146,19 +211,29 @@ class _ServingHandler(BaseHTTPRequestHandler):
 
 
 def build_server(store, host: str = "127.0.0.1", port: int = 8000,
-                 *, quiet: bool = True,
+                 *, quiet: bool = True, workers: int | None = None,
                  **service_kwargs) -> ThreadingHTTPServer:
     """A ready-to-start server over ``store`` (path or ``ModelStore``).
 
     ``port=0`` binds an ephemeral port — read the real one from
     ``server.server_address[1]``.  The attached service is available as
     ``server.service`` and is closed by ``server.server_close()``.
+
+    ``workers=N`` (N >= 1) serves through a sharded
+    :class:`~repro.serving.fleet.ScoringFleet` of N worker processes
+    instead of the in-process :class:`ScoringService`; scores are
+    identical, capacity and failure isolation are not.
     """
     # Bind the socket before starting the service: a bind failure
-    # (port in use, bad host) must not leak a running scorer thread.
+    # (port in use, bad host) must not leak a running scorer thread
+    # (or, in fleet mode, a pack of worker processes).
     server = ThreadingHTTPServer((host, port), _ServingHandler)
     try:
-        service = ScoringService(store, **service_kwargs)
+        if workers is not None and int(workers) >= 1:
+            service = ScoringFleet(store, n_workers=int(workers),
+                                   **service_kwargs)
+        else:
+            service = ScoringService(store, **service_kwargs)
     except BaseException:
         server.server_close()
         raise

@@ -37,7 +37,29 @@ from repro.runtime import snapshot as _runtime_snapshot
 from repro.runtime import start_worker
 from repro.serving.artifacts import ModelStore
 
-__all__ = ["ScoringService"]
+__all__ = ["ScoringService", "as_score_matrix"]
+
+
+def as_score_matrix(X) -> np.ndarray:
+    """Validate and canonicalise one request's input into a (n, d) float64
+    matrix.
+
+    The single admission gate shared by :class:`ScoringService` and the
+    fleet frontend: a 1-d vector becomes one row, anything that is not a
+    finite (n >= 1, d) matrix is rejected here — per request, *before*
+    coalescing, so one bad request can never poison the stacked predict
+    for the innocent callers batched with it.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[0] < 1:
+        raise ValueError(
+            f"X must be a (n, d) matrix with n >= 1, got {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("X contains NaN or infinite values")
+    return arr
 
 
 def _score_fn(model):
@@ -58,16 +80,31 @@ def _score_fn(model):
 
 
 class _Request:
-    """One pending ``score`` call travelling through the batch queue."""
+    """One pending ``score``/``submit`` call travelling through the batch
+    queue."""
 
-    __slots__ = ("model_id", "X", "done", "scores", "error")
+    __slots__ = ("model_id", "X", "done", "scores", "error", "callback")
 
-    def __init__(self, model_id: str, X: np.ndarray):
+    def __init__(self, model_id: str, X: np.ndarray, callback=None):
         self.model_id = model_id
         self.X = X
         self.done = threading.Event()
         self.scores = None
         self.error = None
+        self.callback = callback
+
+    def finish(self) -> None:
+        """Mark done and deliver through the callback (if any).
+
+        Callback exceptions are swallowed: a broken consumer must not
+        kill the scorer loop for every other queued request.
+        """
+        self.done.set()
+        if self.callback is not None:
+            try:
+                self.callback(self.scores, self.error)
+            except Exception:
+                pass
 
 
 class ScoringService:
@@ -158,36 +195,51 @@ class ScoringService:
         Safe to call from any number of threads.  Raises ``KeyError`` for
         unknown models and propagates the model's own validation errors.
         """
+        request = self._submit_request(model_id, X)
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        return request.scores
+
+    def submit(self, model_id: str, X, callback) -> None:
+        """Non-blocking admission into the micro-batch queue.
+
+        ``callback(scores, error)`` fires exactly once — from the scorer
+        thread once the coalesced batch holding this request has been
+        scored (exactly one of the two arguments is ``None``).  Input
+        validation still happens here, synchronously, so malformed
+        requests raise in the caller instead of occupying queue space.
+        This is the fleet worker's entry point: its receive loop stays
+        free to keep pulling requests off the wire while the scorer
+        drains, which is what lets batches form under load.
+
+        In ``micro_batch=False`` mode the request is scored inline and
+        the callback fires before ``submit`` returns.
+        """
+        self._submit_request(model_id, X, callback=callback)
+
+    def _submit_request(self, model_id: str, X, callback=None) -> _Request:
+        """Shared validate-and-enqueue path behind score() and submit()."""
         if self._closed:
             raise RuntimeError("ScoringService is closed")
-        arr = np.asarray(X, dtype=np.float64)
-        if arr.ndim == 1:
-            arr = arr.reshape(1, -1)
-        if arr.ndim != 2 or arr.shape[0] < 1:
-            raise ValueError(
-                f"X must be a (n, d) matrix with n >= 1, got {arr.shape}"
-            )
-        # Validate finiteness per request, before coalescing: one bad
-        # request must fail alone, not poison the stacked predict for
-        # every innocent caller batched with it.
-        if not np.all(np.isfinite(arr)):
-            raise ValueError("X contains NaN or infinite values")
+        arr = as_score_matrix(X)
+        request = _Request(model_id, arr, callback=callback)
         if not self.micro_batch:
-            model = self.get_model(model_id)
-            with self._score_lock:
-                scores = _score_fn(model)(arr)
-            self._record_batch(1, arr.shape[0])
-            return scores
-        request = _Request(model_id, arr)
+            try:
+                model = self.get_model(model_id)
+                with self._score_lock:
+                    request.scores = _score_fn(model)(arr)
+                self._record_batch(1, arr.shape[0])
+            except Exception as exc:
+                request.error = exc
+            request.finish()
+            return request
         with self._queue_cond:
             if self._closed:
                 raise RuntimeError("ScoringService is closed")
             self._queue.append(request)
             self._queue_cond.notify()
-        request.done.wait()
-        if request.error is not None:
-            raise request.error
-        return request.scores
+        return request
 
     def _record_batch(self, n_requests: int, n_rows: int) -> None:
         with self._stats_lock:
@@ -212,6 +264,7 @@ class ScoringService:
 
         with self._stats_lock:
             stats = dict(self._stats)
+        stats["queue_depth"] = len(self._queue)
         stats["mean_batch_requests"] = (
             stats["requests"] / stats["batches"] if stats["batches"] else 0.0
         )
@@ -272,18 +325,36 @@ class ScoringService:
                     request.error = exc
             finally:
                 for request in batch:
-                    request.done.set()
+                    request.finish()
 
     # -- lifecycle --------------------------------------------------------
-    def close(self) -> None:
-        """Stop the scorer thread; pending requests are still answered."""
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain the queue, then join the scorer.
+
+        Every request admitted before (or racing) ``close`` is still
+        answered — the scorer keeps taking batches until the queue is
+        empty and only then exits — while new submissions raise
+        ``RuntimeError``.  The scorer thread is *joined*, not abandoned:
+        after ``close`` returns no scoring work is in flight, so tests
+        and fleet workers can tear a service down without dropping
+        requests or leaking a daemon thread into the next test.
+        Idempotent; ``timeout`` bounds the join (a scorer stuck inside a
+        model's predict cannot be cancelled — it is a daemon thread, so
+        interpreter exit never hangs on it).
+        """
         with self._queue_cond:
             if self._closed:
-                return
-            self._closed = True
+                scorer = None
+            else:
+                self._closed = True
+                scorer = self._scorer
             self._queue_cond.notify_all()
-        if self._scorer is not None:
-            self._scorer.join(timeout=10.0)
+        if scorer is not None:
+            scorer.join(timeout=timeout)
 
     def __enter__(self) -> "ScoringService":
         return self

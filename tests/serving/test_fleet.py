@@ -1,0 +1,295 @@
+"""Tests for repro.serving.fleet — the multi-worker scoring tier.
+
+The headline assertion is the determinism bar from the fleet's contract:
+for worker counts 1, 2, and 4, every score returned through the fleet is
+exactly ``np.array_equal`` to the single-process ScoringService answer.
+The rest covers routing, bounded admission (backpressure is an explicit
+reject, not buffering), crash recovery, and observability.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.detectors.registry import make_detector
+from repro.serving import (
+    FleetOverloadedError,
+    ModelStore,
+    ScoringFleet,
+    ScoringService,
+    save_model,
+)
+from repro.serving.fleet.frontend import _rebuild_error
+from repro.serving.fleet.supervisor import WorkerCrashedError
+from repro.serving.fleet.worker import latency_summary
+
+MODELS = (("hbos", "HBOS"), ("iforest", "IForest"),
+          ("ecod", "ECOD"), ("pca", "PCA"))
+
+# Tight loops so crash tests converge fast; generous start timeout so a
+# loaded CI box does not flake the handshake.
+FAST = dict(heartbeat_interval=0.05, monitor_interval=0.05,
+            start_timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def store(small_dataset, tmp_path_factory):
+    X, _ = small_dataset
+    root = tmp_path_factory.mktemp("fleet_store")
+    for model_id, name in MODELS:
+        save_model(make_detector(name, random_state=0).fit(X),
+                   root / model_id, data=X)
+    return ModelStore(root)
+
+
+@pytest.fixture(scope="module")
+def X(small_dataset):
+    return small_dataset[0]
+
+
+@pytest.fixture(scope="module")
+def expected(store, X):
+    """Reference scores from the single-process service."""
+    with ScoringService(store) as service:
+        return {model_id: service.score(model_id, X)
+                for model_id, _ in MODELS}
+
+
+def _score_with_retry(fleet, model_id, X, attempts=80, pause=0.1):
+    """Score through a recovering fleet, retrying retryable rejects."""
+    last = None
+    for _ in range(attempts):
+        try:
+            return fleet.score(model_id, X)
+        except (FleetOverloadedError, WorkerCrashedError) as exc:
+            last = exc
+            time.sleep(pause)
+    raise AssertionError(f"fleet never recovered: {last!r}")
+
+
+class TestScoreParity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_exact_parity_with_single_service(self, store, X, expected,
+                                              n_workers):
+        with ScoringFleet(store, n_workers=n_workers, **FAST) as fleet:
+            for model_id, _ in MODELS:
+                assert np.array_equal(fleet.score(model_id, X),
+                                      expected[model_id]), model_id
+
+    def test_single_row_input(self, store, X, expected):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            got = fleet.score("hbos", X[0])
+            assert np.array_equal(got, expected["hbos"][:1])
+
+
+class TestErrorPropagation:
+    def test_unknown_model_raises_keyerror(self, store, X):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            with pytest.raises(KeyError, match="ghost"):
+                fleet.score("ghost", X)
+
+    def test_bad_feature_count_raises_valueerror(self, store, X):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            with pytest.raises(ValueError):
+                fleet.score("hbos", np.zeros((3, X.shape[1] + 2)))
+
+    def test_nonfinite_input_rejected_in_frontend(self, store):
+        with ScoringFleet(store, n_workers=1, **FAST) as fleet:
+            before = fleet.stats()["requests"]
+            with pytest.raises(ValueError, match="NaN"):
+                fleet.score("hbos", np.full((2, 4), np.nan))
+            # Validation failures never reach admission or a worker.
+            assert fleet.stats()["requests"] == before
+
+    def test_rebuild_error_maps_known_types(self):
+        assert isinstance(_rebuild_error(("KeyError", "x")), KeyError)
+        assert isinstance(_rebuild_error(("ValueError", "x")), ValueError)
+        rebuilt = _rebuild_error(("WeirdError", "boom"))
+        assert isinstance(rebuilt, RuntimeError)
+        assert "WeirdError" in str(rebuilt)
+
+    def test_closed_fleet_rejects(self, store, X):
+        fleet = ScoringFleet(store, n_workers=1, **FAST)
+        fleet.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.score("hbos", X)
+
+
+class TestBackpressure:
+    """Admission rejects are deterministic given the in-flight counters,
+    so the caps are tested by injecting the counter state directly —
+    no timing games against a 1-core CI box."""
+
+    def test_per_model_cap_rejects_with_retry_after(self, store, X):
+        with ScoringFleet(store, n_workers=1, max_inflight_per_model=2,
+                          **FAST) as fleet:
+            with fleet._admission_lock:
+                fleet._model_inflight["hbos"] = 2
+            with pytest.raises(FleetOverloadedError,
+                               match="in-flight cap") as excinfo:
+                fleet.score("hbos", X)
+            assert excinfo.value.retry_after > 0
+            # Other models are unaffected — that is the QoS point.
+            fleet.score("iforest", X)
+            assert fleet.stats()["rejected"] == 1
+
+    def test_per_worker_cap_rejects_with_retry_after(self, store, X):
+        with ScoringFleet(store, n_workers=1, max_inflight_per_worker=4,
+                          **FAST) as fleet:
+            handle = fleet._supervisor.handles["w0"]
+            with handle._lock:
+                for request_id in range(4):  # simulate a full queue
+                    handle._pending[-1 - request_id] = object()
+            try:
+                with pytest.raises(FleetOverloadedError,
+                                   match="queue is full") as excinfo:
+                    fleet.score("hbos", X)
+                assert excinfo.value.retry_after >= 0.05
+            finally:
+                with handle._lock:
+                    handle._pending.clear()
+            fleet.score("hbos", X)  # admits again once the queue drains
+
+    def test_release_runs_even_on_worker_error(self, store, X):
+        with ScoringFleet(store, n_workers=1, **FAST) as fleet:
+            with pytest.raises(KeyError):
+                fleet.score("ghost", X)
+            assert fleet._model_inflight == {}
+
+    def test_bad_caps_rejected(self, store):
+        with pytest.raises(ValueError, match="in-flight caps"):
+            ScoringFleet(store, n_workers=1, max_inflight_per_worker=0)
+        with pytest.raises(ValueError, match="n_workers"):
+            ScoringFleet(store, n_workers=0)
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_restarts_and_scores_identically(
+            self, store, X, expected):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            stats = fleet.stats()
+            victim = stats["sharding"]["assignments"]["hbos"]
+            pid = stats["workers"][victim]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                stats = fleet.stats()
+                if (stats["workers"][victim]["restarts"] >= 1
+                        and stats["healthy_workers"] == 2):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("supervisor never restarted the worker")
+            assert stats["total_restarts"] >= 1
+            assert stats["workers"][victim]["pid"] != pid
+            got = _score_with_retry(fleet, "hbos", X)
+            assert np.array_equal(got, expected["hbos"])
+
+    def test_reroute_during_recovery_keeps_exact_scores(
+            self, store, X, expected):
+        """While the owner is down, its models are served by a ring
+        successor — with identical scores, because placement never
+        changes results."""
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            assignments = fleet.stats()["sharding"]["assignments"]
+            victim = assignments["hbos"]
+            handle = fleet._supervisor.handles[victim]
+            handle.state = "starting"  # simulate mid-recovery membership
+            try:
+                got = fleet.score("hbos", X)
+            finally:
+                handle.state = "healthy"
+            assert np.array_equal(got, expected["hbos"])
+            assert fleet.stats()["rerouted"] >= 1
+
+    def test_no_healthy_workers_is_retryable_overload(self, store, X):
+        with ScoringFleet(store, n_workers=1, **FAST) as fleet:
+            handle = fleet._supervisor.handles["w0"]
+            handle.state = "starting"
+            try:
+                with pytest.raises(FleetOverloadedError,
+                                   match="no healthy"):
+                    fleet.score("hbos", X)
+            finally:
+                handle.state = "healthy"
+
+
+class TestObservability:
+    def test_stats_shape(self, store, X):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            fleet.score("hbos", X)
+            # Wait for at least one post-score heartbeat per worker.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                stats = fleet.stats()
+                if all("service" in w for w in stats["workers"].values()):
+                    break
+                time.sleep(0.05)
+            assert stats["n_workers"] == 2
+            assert stats["healthy_workers"] == 2
+            assert stats["requests"] >= 1
+            assert set(stats["sharding"]["assignments"]) == \
+                set(store.ids())
+            for worker_id, worker in stats["workers"].items():
+                assert worker["state"] == "healthy"
+                assert worker["pid"] is not None
+                assert worker["heartbeat_age_s"] is not None
+                assert "latency" in worker
+                assert "queue_depth" in worker["service"]
+            assert "runtime" in stats
+
+    def test_workers_warm_start_their_shard(self, store, X):
+        with ScoringFleet(store, n_workers=2, cache_size=8,
+                          **FAST) as fleet:
+            stats = fleet.stats()
+            shards = {wid: worker["shard"]
+                      for wid, worker in stats["workers"].items()}
+            for worker_id, worker in stats["workers"].items():
+                # Warm set == shard (cache_size covers every shard here).
+                assert sorted(worker["warm_models"]) == \
+                    sorted(shards[worker_id])
+
+    def test_health_summary(self, store):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            health = fleet.health()
+            assert health == {"n_workers": 2, "healthy_workers": 2,
+                              "total_restarts": 0}
+
+    def test_latency_summary_percentiles(self):
+        assert latency_summary([]) == {
+            "count": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None}
+        summary = latency_summary([0.001] * 99 + [0.1])
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(1.0)
+        assert summary["p99_ms"] >= summary["p50_ms"]
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_terminal(self, store):
+        fleet = ScoringFleet(store, n_workers=1, **FAST)
+        pids = [w["pid"] for w in fleet.stats()["workers"].values()]
+        fleet.close()
+        fleet.close()
+        assert fleet.closed
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not any(_pid_alive(pid) for pid in pids):
+                break
+            time.sleep(0.05)
+        assert not any(_pid_alive(pid) for pid in pids)
+
+    def test_context_manager_closes(self, store):
+        with ScoringFleet(store, n_workers=1, **FAST) as fleet:
+            pass
+        assert fleet.closed
+
+
+def _pid_alive(pid) -> bool:
+    try:
+        os.kill(pid, 0)
+    except (OSError, TypeError):
+        return False
+    return True

@@ -193,6 +193,126 @@ class TestServeLifecycle:
         assert not thread.is_alive()
 
 
+class TestStatsEndpoint:
+    def test_stats_reports_service_counters(self, server, small_dataset):
+        X, _ = small_dataset
+        request_json(server, "/score",
+                     {"model_id": "hbos", "X": X[:5].tolist()})
+        status, payload = request_json(server, "/stats")
+        assert status == 200
+        assert payload["requests"] >= 1
+        assert "cache_hits" in payload
+        assert "queue_depth" in payload
+
+
+class TestStructuredErrorGuarantee:
+    """No route may ever answer with an HTML traceback page."""
+
+    def test_unexpected_fault_becomes_json_500(self, server, small_dataset,
+                                               monkeypatch):
+        X, _ = small_dataset
+
+        def boom(model_id, X):
+            raise ZeroDivisionError("synthetic fault")
+
+        monkeypatch.setattr(server.service, "score", boom)
+        code, payload = request_error(
+            server, "/score",
+            json.dumps({"model_id": "hbos", "X": X[:2].tolist()}).encode())
+        assert code == 500
+        assert "ZeroDivisionError" in payload["error"]
+        assert "synthetic fault" in payload["error"]
+
+    def test_stats_fault_becomes_json_500(self, server, monkeypatch):
+        monkeypatch.setattr(server.service, "stats",
+                            lambda: 1 / 0)
+        with pytest.raises(urllib.error.HTTPError) as info:
+            request_json(server, "/stats")
+        assert info.value.code == 500
+        assert "error" in json.load(info.value)
+
+    def test_overload_becomes_503_with_retry_after(self, server,
+                                                   small_dataset,
+                                                   monkeypatch):
+        from repro.serving import FleetOverloadedError
+
+        X, _ = small_dataset
+
+        def reject(model_id, X):
+            raise FleetOverloadedError("queue full", retry_after=0.25)
+
+        monkeypatch.setattr(server.service, "score", reject)
+        port = server.server_address[1]
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/score",
+            data=json.dumps({"model_id": "hbos",
+                             "X": X[:2].tolist()}).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=10)
+        assert info.value.code == 503
+        assert info.value.headers["Retry-After"] == "0.25"
+        assert "queue full" in json.load(info.value)["error"]
+
+
+class TestFleetMode:
+    @pytest.fixture(scope="class")
+    def fleet_server(self, store_root):
+        server = build_server(store_root, port=0, workers=2,
+                              heartbeat_interval=0.05,
+                              monitor_interval=0.05,
+                              start_timeout=120.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+    def test_healthz_includes_fleet_summary(self, fleet_server):
+        status, payload = request_json(fleet_server, "/healthz")
+        assert status == 200
+        assert payload["fleet"]["n_workers"] == 2
+        assert payload["fleet"]["healthy_workers"] == 2
+
+    def test_scores_match_in_process_service(self, fleet_server,
+                                             small_dataset, store_root):
+        from repro.serving import load_model
+
+        X, _ = small_dataset
+        for model_id in ("hbos", "iforest"):
+            status, payload = request_json(
+                fleet_server, "/score",
+                {"model_id": model_id, "X": X[:16].tolist()})
+            assert status == 200
+            expected = load_model(
+                store_root / model_id).score_samples(X[:16])
+            assert np.array_equal(np.array(payload["scores"]), expected)
+
+    def test_stats_reports_workers(self, fleet_server):
+        status, payload = request_json(fleet_server, "/stats")
+        assert status == 200
+        assert payload["n_workers"] == 2
+        assert set(payload["workers"]) == {"w0", "w1"}
+        assert "sharding" in payload
+
+    def test_unknown_model_is_404_through_fleet(self, fleet_server):
+        code, payload = request_error(
+            fleet_server, "/score",
+            json.dumps({"model_id": "ghost", "X": [[0.0]]}).encode())
+        assert code == 404
+        assert "ghost" in payload["error"]
+
+    def test_server_close_stops_workers(self, store_root):
+        server = build_server(store_root, port=0, workers=1,
+                              heartbeat_interval=0.05,
+                              monitor_interval=0.05,
+                              start_timeout=120.0)
+        fleet = server.service
+        server.server_close()
+        assert fleet.closed
+
+
 class TestBindFailures:
     def test_occupied_port_raises_and_leaks_no_service(self, store_root,
                                                        server):

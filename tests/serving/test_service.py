@@ -238,3 +238,109 @@ class TestRequestIsolation:
             # The service stays healthy for everyone else.
             assert np.array_equal(service.score("hbos", X[:3]),
                                   store.load("hbos").score_samples(X[:3]))
+
+
+class TestSubmitCallback:
+    """The non-blocking submit() surface the fleet worker drives."""
+
+    def test_callback_receives_scores(self, store, X):
+        done = threading.Event()
+        received = {}
+
+        def deliver(scores, error):
+            received["scores"], received["error"] = scores, error
+            done.set()
+
+        with ScoringService(store) as service:
+            service.submit("hbos", X[:5], deliver)
+            assert done.wait(timeout=10.0)
+        assert received["error"] is None
+        assert np.array_equal(received["scores"],
+                              store.load("hbos").score_samples(X[:5]))
+
+    def test_callback_receives_worker_side_error(self, store, X):
+        done = threading.Event()
+        received = {}
+
+        def deliver(scores, error):
+            received["scores"], received["error"] = scores, error
+            done.set()
+
+        with ScoringService(store) as service:
+            service.submit("ghost", X[:5], deliver)
+            assert done.wait(timeout=10.0)
+        assert received["scores"] is None
+        assert isinstance(received["error"], KeyError)
+
+    def test_validation_errors_raise_synchronously(self, store):
+        fired = []
+        with ScoringService(store) as service:
+            with pytest.raises(ValueError):
+                service.submit("hbos", np.zeros((0, 4)), fired.append)
+        assert fired == []
+
+    def test_naive_mode_invokes_callback_inline(self, store, X):
+        received = {}
+
+        def deliver(scores, error):
+            received["scores"], received["error"] = scores, error
+
+        with ScoringService(store, micro_batch=False) as service:
+            service.submit("hbos", X[:5], deliver)
+            # No scorer thread in naive mode: delivery already happened.
+            assert received["error"] is None
+            assert np.array_equal(
+                received["scores"],
+                store.load("hbos").score_samples(X[:5]))
+
+    def test_submitted_scores_match_blocking_score(self, store, X):
+        done = threading.Event()
+        received = {}
+
+        def deliver(scores, error):
+            received["scores"] = scores
+            done.set()
+
+        with ScoringService(store) as service:
+            expected = service.score("hbos", X[:7])
+            service.submit("hbos", X[:7], deliver)
+            assert done.wait(timeout=10.0)
+        assert np.array_equal(received["scores"], expected)
+
+
+class TestGracefulClose:
+    def test_close_drains_queued_requests(self, store, X):
+        """Requests accepted before close() must complete, not vanish."""
+        service = ScoringService(store)
+        results = []
+        lock = threading.Lock()
+
+        def deliver(scores, error):
+            with lock:
+                results.append((scores, error))
+
+        for i in range(8):
+            service.submit("hbos" if i % 2 else "iforest",
+                           X[i:i + 3], deliver)
+        service.close()
+        assert len(results) == 8
+        assert all(error is None for _, error in results)
+        assert all(scores.shape == (3,) for scores, _ in results)
+
+    def test_close_joins_scorer_thread(self, store):
+        service = ScoringService(store)
+        scorer = service._scorer
+        assert scorer.is_alive()
+        service.close()
+        assert not scorer.is_alive()
+
+    def test_close_is_idempotent(self, store):
+        service = ScoringService(store)
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_queue_depth_in_stats(self, store, X):
+        with ScoringService(store) as service:
+            service.score("hbos", X[:3])
+            assert service.stats()["queue_depth"] == 0

@@ -1,0 +1,122 @@
+"""Tests for repro.serving.fleet.sharding — the consistent-hash ring.
+
+The contract under test is the one the fleet's exactness story leans on:
+assignment is a pure, process-independent function of (worker set, key),
+and membership changes move only the changed worker's keys.
+"""
+
+import pytest
+
+from repro.runtime import Executor
+from repro.serving.fleet.sharding import HashRing, hash_point
+
+KEYS = [f"model-{i:03d}" for i in range(200)]
+WORKERS4 = ["w0", "w1", "w2", "w3"]
+
+
+def _assign_in_subprocess(payload):
+    """Module-level so the process backend can pickle it by reference."""
+    worker_ids, keys = payload
+    ring = HashRing(worker_ids)
+    return {key: ring.assign(key) for key in keys}
+
+
+class TestHashPoint:
+    def test_deterministic_and_64_bit(self):
+        assert hash_point("iforest") == hash_point("iforest")
+        assert 0 <= hash_point("iforest") < 2**64
+
+    def test_distinct_tokens_distinct_points(self):
+        points = {hash_point(k) for k in KEYS}
+        assert len(points) == len(KEYS)
+
+
+class TestRingConstruction:
+    def test_empty_workers_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HashRing([])
+
+    def test_duplicate_workers_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["w0", "w1", "w0"])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["w0"], replicas=0)
+
+    def test_worker_order_is_irrelevant(self):
+        forward = HashRing(WORKERS4)
+        backward = HashRing(list(reversed(WORKERS4)))
+        for key in KEYS:
+            assert forward.assign(key) == backward.assign(key)
+
+
+class TestAssignmentStability:
+    def test_single_worker_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert all(ring.assign(k) == "solo" for k in KEYS)
+
+    def test_adding_a_worker_moves_keys_only_to_it(self):
+        before = HashRing(WORKERS4)
+        after = HashRing(WORKERS4 + ["w4"])
+        moved = [k for k in KEYS if before.assign(k) != after.assign(k)]
+        # Consistent hashing: every moved key lands on the newcomer...
+        assert all(after.assign(k) == "w4" for k in moved)
+        # ...and roughly 1/(N+1) of the keyspace moves, not all of it.
+        assert len(moved) <= len(KEYS) // 2
+
+    def test_removing_a_worker_moves_only_its_keys(self):
+        before = HashRing(WORKERS4)
+        after = HashRing(["w0", "w1", "w3"])
+        for key in KEYS:
+            if before.assign(key) != "w2":
+                assert after.assign(key) == before.assign(key)
+
+    def test_exclude_walk_equals_ring_without_worker(self):
+        # Routing around a dead worker must match the ring that never
+        # contained it — that is what makes recovery re-routes stable.
+        full = HashRing(WORKERS4)
+        without = HashRing(["w0", "w1", "w3"])
+        for key in KEYS:
+            assert full.assign(key, exclude={"w2"}) == without.assign(key)
+
+    def test_all_excluded_raises(self):
+        ring = HashRing(WORKERS4)
+        with pytest.raises(LookupError):
+            ring.assign("anything", exclude=set(WORKERS4))
+
+
+class TestShardMap:
+    def test_partition_is_exact(self):
+        shards = HashRing(WORKERS4).shard_map(KEYS)
+        assert sorted(shards) == WORKERS4  # empty shards still listed
+        flat = [k for shard in shards.values() for k in shard]
+        assert sorted(flat) == sorted(KEYS)
+        assert len(flat) == len(set(flat))
+
+    def test_shards_are_sorted(self):
+        shards = HashRing(WORKERS4).shard_map(KEYS)
+        for shard in shards.values():
+            assert shard == sorted(shard)
+
+    def test_replicas_spread_the_load(self):
+        shards = HashRing(WORKERS4, replicas=64).shard_map(KEYS)
+        # With 64 virtual nodes no worker should own the lion's share.
+        assert max(len(s) for s in shards.values()) <= 0.6 * len(KEYS)
+
+    def test_exclude_reroutes_only_dead_shard(self):
+        ring = HashRing(WORKERS4)
+        healthy = ring.shard_map(KEYS)
+        rerouted = ring.shard_map(KEYS, exclude={"w1"})
+        assert "w1" not in rerouted
+        for wid in ("w0", "w2", "w3"):
+            assert set(healthy[wid]) <= set(rerouted[wid])
+
+
+class TestCrossProcessDeterminism:
+    def test_assignments_identical_in_child_processes(self):
+        parent = _assign_in_subprocess((WORKERS4, KEYS))
+        child_maps = Executor(backend="process", max_workers=2).map(
+            _assign_in_subprocess, [(WORKERS4, KEYS)] * 2)
+        for child in child_maps:
+            assert child == parent

@@ -272,6 +272,63 @@ class TestServe:
         assert code == 2
         assert "error:" in text
 
+    def test_serve_fleet_mode_scores_over_http(self, tmp_path):
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        from repro.serving.server import shutdown_all
+
+        target = tmp_path / "m"
+        run_cli("save", "HBOS", "glass", str(target),
+                "--max-samples", "150", "--max-features", "6")
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", str(target), "--port", "0",
+                   "--workers", "2"],),
+            kwargs={"out": out}, daemon=True)
+        thread.start()
+        url = None
+        for _ in range(600):  # fleet boot includes worker handshakes
+            text = out.getvalue()
+            if "http://" in text:
+                url = text.split("http://", 1)[1].split()[0]
+                break
+            time.sleep(0.05)
+        assert url, f"server never reported its address: {out.getvalue()!r}"
+        assert "fleet of 2 workers" in out.getvalue()
+        try:
+            response = urllib.request.urlopen(
+                f"http://{url}/stats", timeout=10)
+            stats = json.load(response)
+            assert stats["n_workers"] == 2
+            body = json.dumps({"X": [[0.0] * 6]}).encode()
+            request = urllib.request.Request(
+                f"http://{url}/score", data=body,
+                headers={"Content-Type": "application/json"})
+            response = urllib.request.urlopen(request, timeout=10)
+            assert response.status == 200
+            assert json.load(response)["n"] == 1
+        finally:
+            shutdown_all()
+            thread.join(timeout=15.0)
+        assert not thread.is_alive()
+
+    def test_serve_rejects_bad_worker_count(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", str(tmp_path), "--workers", "0"])
+
+    def test_serve_parses_worker_count(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", str(tmp_path), "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["serve", str(tmp_path)])
+        assert args.workers is None
+
 
 class TestJsonListings:
     def test_list_models_json(self):
