@@ -1,0 +1,167 @@
+"""Resilience-layer perf guards: the happy path must stay free.
+
+Two promises worth pinning:
+
+1. **Happy-path overhead.**  Wiring a RetryPolicy + per-worker circuit
+   breakers + a default deadline into the fleet must cost (almost)
+   nothing when nothing fails — the policy machinery sits outside the
+   scoring hot path until an error actually occurs.  Guard: a
+   policy-equipped fleet is within ``MAX_OVERHEAD`` of the bare fleet on
+   the same sequential workload (min-of-runs on both sides, so scheduler
+   noise cancels instead of flaking the ratio).
+2. **Crash recovery time.**  After a SIGKILL, the supervisor + retry
+   loop must produce the next exact score within ``MAX_RECOVERY_S`` —
+   resilience that takes a minute is an outage with better marketing.
+
+Refreshing the checked-in ``BENCH_RESILIENCE.json`` snapshot is opt-in
+(``REPRO_BENCH_WRITE=1``) and only happens when the floors hold, so the
+snapshot can never record a regression as the new normal.
+"""
+
+import json
+import os
+import platform
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import StandardScaler
+from repro.data.synthetic import make_anomaly_dataset
+from repro.detectors.registry import make_detector
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.serving import ModelStore, ScoringFleet, save_model
+
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_RESILIENCE.json"
+
+N_MODELS = 4
+N_WORKERS = 2
+REQUESTS = 400          # sequential scoring calls per measured run
+ROWS = 4
+RUNS = 5                # min-of-runs on both sides
+MAX_OVERHEAD = 1.05     # policy-equipped fleet <= 5% slower when healthy
+MAX_RECOVERY_S = 30.0   # SIGKILL -> next exact score
+
+FAST = dict(heartbeat_interval=0.1, monitor_interval=0.1,
+            start_timeout=120.0)
+
+POLICY_OPTS = dict(
+    retry_policy=RetryPolicy(max_attempts=6, base_delay=0.05, seed=0),
+    breaker=CircuitBreaker(failure_threshold=5, reset_timeout=2.0),
+    deadline=60.0,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("resilience-store")
+    ds = make_anomaly_dataset("local", n_inliers=360, n_anomalies=40,
+                              n_features=16, random_state=0)
+    X = StandardScaler().fit_transform(ds.X)
+    for i in range(N_MODELS):
+        save_model(make_detector("HBOS", random_state=i).fit(X),
+                   root / f"m{i:02d}", data=X)
+    return ModelStore(root), X
+
+
+def _drive(fleet, ids, X) -> float:
+    """One timed sequential pass: REQUESTS scores, round-robin models."""
+    start = time.perf_counter()
+    for j in range(REQUESTS):
+        fleet.score(ids[j % len(ids)], X[:ROWS])
+    return time.perf_counter() - start
+
+
+def test_happy_path_overhead_is_bounded(store):
+    store, X = store
+    ids = store.ids()
+
+    # Both fleets run side by side and the timed passes interleave
+    # (bare, policy, bare, policy, ...), so slow machine drift hits both
+    # sides equally instead of skewing whichever fleet ran second.
+    with ScoringFleet(store, n_workers=N_WORKERS, **FAST) as bare, \
+            ScoringFleet(store, n_workers=N_WORKERS, **POLICY_OPTS,
+                         **FAST) as guarded:
+        _drive(bare, ids, X)     # warm-up: fill caches, settle
+        _drive(guarded, ids, X)  # heartbeats on both sides
+        bare_runs, guarded_runs = [], []
+        for _ in range(RUNS):
+            bare_runs.append(_drive(bare, ids, X))
+            guarded_runs.append(_drive(guarded, ids, X))
+        bare_s = min(bare_runs)
+        guarded_s = min(guarded_runs)
+        stats = guarded.stats()
+
+    # The policy run must have exercised the policy plumbing (breakers
+    # recorded a success per request) without a single retry.
+    assert stats["retries"] == 0
+    breakers = stats["resilience"]["breakers"]["workers"]
+    assert sum(b["successes"] for b in breakers.values()) >= REQUESTS
+
+    overhead = guarded_s / bare_s
+    print(f"\nresilience overhead: bare {bare_s:.3f}s vs policy "
+          f"{guarded_s:.3f}s for {REQUESTS} requests = x{overhead:.3f}")
+    assert overhead <= MAX_OVERHEAD, (
+        f"retry/breaker/deadline plumbing costs {overhead:.3f}x on the "
+        f"happy path (cap {MAX_OVERHEAD}x): policy checks have crept "
+        f"into the hot loop"
+    )
+    _maybe_write_snapshot("overhead", {
+        "bare_s": round(bare_s, 4), "policy_s": round(guarded_s, 4),
+        "overhead": round(overhead, 4), "cap": MAX_OVERHEAD,
+        "requests": REQUESTS})
+
+
+def test_sigkill_recovery_time_is_bounded(store):
+    store, X = store
+    ids = store.ids()
+    policy = RetryPolicy(max_attempts=40, base_delay=0.05, max_delay=1.0,
+                         seed=0)
+    with ScoringFleet(store, n_workers=N_WORKERS, retry_policy=policy,
+                      **FAST) as fleet:
+        expected = {mid: fleet.score(mid, X[:ROWS]) for mid in ids}
+        stats = fleet.stats()
+        victim_model = ids[0]
+        victim = stats["sharding"]["assignments"][victim_model]
+        os.kill(stats["workers"][victim]["pid"], signal.SIGKILL)
+
+        start = time.perf_counter()
+        got = fleet.score(victim_model, X[:ROWS])
+        recovery_s = time.perf_counter() - start
+
+    assert np.array_equal(got, expected[victim_model])
+    print(f"\nSIGKILL -> next exact score in {recovery_s:.2f}s "
+          f"(cap {MAX_RECOVERY_S:.0f}s)")
+    assert recovery_s <= MAX_RECOVERY_S, (
+        f"crash recovery took {recovery_s:.1f}s (cap {MAX_RECOVERY_S}s): "
+        f"supervision or retry pacing has regressed"
+    )
+    _maybe_write_snapshot("recovery", {
+        "recovery_s": round(recovery_s, 3), "cap_s": MAX_RECOVERY_S})
+
+
+_RESULTS: dict = {}
+
+
+def _maybe_write_snapshot(section: str, payload: dict) -> None:
+    _RESULTS[section] = payload
+    if os.environ.get("REPRO_BENCH_WRITE", "") != "1":
+        print(f"{SNAPSHOT.name} left untouched "
+              f"(set REPRO_BENCH_WRITE=1 to refresh the snapshot)")
+        return
+    if set(_RESULTS) < {"overhead", "recovery"}:
+        return  # write once, after both guards held
+    snapshot = {
+        "benchmark": "resilience layer: happy-path overhead and "
+                     "SIGKILL recovery",
+        "config": {"n_models": N_MODELS, "n_workers": N_WORKERS,
+                   "requests": REQUESTS, "rows": ROWS, "runs": RUNS},
+        "env": {"python": platform.python_version(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count()},
+        **_RESULTS,
+    }
+    SNAPSHOT.write_text(json.dumps(snapshot, indent=1) + "\n")
+    print(f"wrote {SNAPSHOT}")

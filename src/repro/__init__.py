@@ -23,6 +23,12 @@ Public API highlights
   configuration, resolution order explicit arg > context > env var >
   default) and the backend-pluggable deterministic
   :class:`~repro.runtime.Executor` every layer fans out through.
+* :mod:`repro.resilience` — the failure-handling layer:
+  :class:`~repro.resilience.Deadline` /
+  :class:`~repro.resilience.RetryPolicy` (seeded, bit-reproducible
+  backoff) / :class:`~repro.resilience.CircuitBreaker`, plus
+  deterministic fault injection for chaos testing
+  (``RunContext(faults=...)`` / ``REPRO_FAULTS``).
 
 Quickstart
 ----------
@@ -43,7 +49,7 @@ from repro.kernels import cache_stats, set_num_threads
 from repro.metrics import auc_roc, average_precision
 from repro.runtime import Executor, RunContext
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "UADBooster",

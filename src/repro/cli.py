@@ -129,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="executor backend for pending cells (default: "
                         "process when the job budget exceeds 1; all "
                         "backends return bit-identical results)")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="fsync'd JSONL crash log: every computed cell is "
+                        "appended durably, so a killed sweep can resume")
+    p.add_argument("--resume", action="store_true",
+                   help="replay --journal before running; journaled cells "
+                        "are not recomputed and the final table is "
+                        "identical to an uninterrupted run")
+    p.add_argument("--retries", type=_positive_int, default=None,
+                   metavar="N",
+                   help="retry transiently-failing cells up to N attempts "
+                        "inside the worker (seeded exponential backoff; "
+                        "only errors marked retryable are retried)")
 
     p = sub.add_parser("variance", help="Fig 2 variance-gap analysis")
     p.add_argument("--datasets", nargs="+", default=None)
@@ -179,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(consistent hashing on model id, supervised "
                         "restarts, backpressure; scores identical to the "
                         "default in-process service)")
+    p.add_argument("--request-timeout", type=float, default=None,
+                   metavar="SECONDS", dest="request_timeout",
+                   help="fleet mode: per-request reply deadline before a "
+                        "504 (default 120; lower it when clients retry "
+                        "aggressively, e.g. under chaos testing)")
     p = sub.add_parser("runtime-info",
                        help="print the resolved execution context")
     p.add_argument("--json", action="store_true", dest="as_json",
@@ -420,11 +437,19 @@ def _cmd_serve(args, out) -> int:
         if hasattr(out, "flush"):
             out.flush()
 
+    if args.request_timeout is not None and not args.workers:
+        out.write("error: --request-timeout requires fleet mode "
+                  "(--workers N)\n")
+        return 2
+    fleet_kwargs = {}
+    if args.request_timeout is not None:
+        fleet_kwargs["request_timeout"] = args.request_timeout
     try:
         serve(store, host=args.host, port=args.port, ready=ready,
               workers=args.workers,
               cache_size=args.cache_size,
-              micro_batch=not args.no_micro_batch)
+              micro_batch=not args.no_micro_batch,
+              **fleet_kwargs)
     except OSError as exc:
         # e.g. port already in use, privileged port, bad host address.
         out.write(f"error: cannot bind {args.host}:{args.port} ({exc})\n")
@@ -445,6 +470,9 @@ def _cmd_sweep(args, out) -> int:
             return 2
     if not models:
         models = list(DETECTOR_NAMES)
+    if args.resume and not args.journal:
+        out.write("error: --resume requires --journal FILE\n")
+        return 2
 
     from repro.runtime import resolve_n_jobs
 
@@ -470,6 +498,9 @@ def _cmd_sweep(args, out) -> int:
             progress=progress,
             cache_dir=args.cache_dir,
             backend=args.backend,
+            journal=args.journal,
+            resume=args.resume,
+            retry=args.retries,
         )
     except (ValueError, KeyError) as exc:
         # KeyError: unknown detector/dataset name from the registries.

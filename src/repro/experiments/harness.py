@@ -42,6 +42,7 @@ import numpy as np
 
 from repro import runtime
 from repro.api.spec import as_spec, build_spec, canonical_spec, spec_key
+from repro.resilience import RetryPolicy, inject
 from repro.core.booster import UADBooster
 from repro.core.variants import make_variant
 from repro.data.preprocessing import StandardScaler
@@ -204,12 +205,27 @@ def _execute_cell(spec: dict) -> RunResult:
 
     Thread budgets, seeds, and cache flags arrive through the
     :class:`~repro.runtime.RunContext` the executor activates around the
-    task — the cell body is pure work.
+    task — the cell body is pure work.  When the runner installed a
+    ``retry`` policy (carried in the spec as plain params, so the spec
+    stays picklable for the process backend), transient failures —
+    injected faults, flaky storage — are retried *inside the worker*
+    with seeded backoff before the cell is given up on.
     """
-    return run_single(
-        spec["dataset"], spec["detector"],
-        n_iterations=spec["n_iterations"], seed=spec["seed"],
-        booster_kwargs=spec["booster_kwargs"])
+    def cell() -> RunResult:
+        # Chaos hook: an "error" plan entry targeted at harness.cell
+        # raises a retryable InjectedFault here (a transient cell
+        # failure); no-op unless a fault plan is active.
+        inject("harness.cell", detector=spec["detector"].get("type"),
+               dataset=spec["dataset"].name, seed=spec["seed"])
+        return run_single(
+            spec["dataset"], spec["detector"],
+            n_iterations=spec["n_iterations"], seed=spec["seed"],
+            booster_kwargs=spec["booster_kwargs"])
+
+    retry = spec.get("retry")
+    if not retry:
+        return cell()
+    return RetryPolicy(**retry).call(cell)
 
 
 class ExperimentRunner:
@@ -248,6 +264,28 @@ class ExperimentRunner:
         Executor backend for pending cells.  ``None`` picks ``process``
         when the resolved ``n_jobs`` exceeds 1, else ``serial``.  All
         backends return bit-identical results.
+    journal : str, Path, or None
+        When set, every *computed* cell is appended to this JSONL file —
+        flushed and ``fsync``'d per line, so a SIGKILL mid-sweep loses
+        at most the cell in flight.  Unlike the cache (content-keyed,
+        shared, best-effort), the journal is a per-sweep crash log: one
+        file, one sweep, replayable.
+    resume : bool
+        Replay the journal before running: cells whose key appears in it
+        are taken from the journal (zero recomputation) and only the
+        remainder runs.  Requires ``journal``.  The resumed sweep's
+        results table is byte-identical to an uninterrupted run — cells
+        are deterministic and the journal stores exact values.
+    retry : RetryPolicy, int, or None
+        Per-cell transient-failure retry, executed inside the worker.
+        An int is shorthand for ``RetryPolicy(max_attempts=int)``.  Only
+        errors declaring ``retryable = True`` (e.g. injected faults,
+        transient storage errors) are retried; real cell bugs still
+        surface immediately.
+
+    After :meth:`run_grid` returns, ``last_counters`` holds
+    ``{"cells", "cache_hits", "journal_hits", "computed"}`` — the
+    audit trail resume tests use to assert zero recomputation.
 
     Examples
     --------
@@ -263,7 +301,8 @@ class ExperimentRunner:
 
     def __init__(self, n_jobs: int | None = None, cache_dir=None,
                  progress=None, num_threads: int | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None, journal=None,
+                 resume: bool = False, retry=None):
         if n_jobs is not None and int(n_jobs) < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         self.n_jobs = None if n_jobs is None else int(n_jobs)
@@ -282,6 +321,14 @@ class ExperimentRunner:
                 f"backend must be one of {runtime.BACKENDS} or None, "
                 f"got {backend!r}")
         self.backend = backend
+        self.journal = Path(journal) if journal is not None else None
+        if resume and self.journal is None:
+            raise ValueError("resume=True requires a journal path")
+        self.resume = bool(resume)
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            retry = RetryPolicy(max_attempts=int(retry))
+        self.retry = retry
+        self.last_counters: dict = {}
 
     def run_grid(self, detectors=DETECTOR_NAMES,
                  datasets=DEFAULT_BENCH_DATASETS, seeds=(0,),
@@ -301,25 +348,42 @@ class ExperimentRunner:
             cache_dir = Path(resolved_dir) if resolved_dir else None
         resolved = _resolve_datasets(datasets, max_samples, max_features)
         det_specs = [as_spec(det) for det in detectors]
+        retry_params = None if self.retry is None else \
+            self.retry.get_params()
         specs = [
             {"dataset": dataset, "detector": det_spec, "seed": seed,
-             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs}
+             "n_iterations": n_iterations, "booster_kwargs": booster_kwargs,
+             "retry": retry_params}
             for dataset in resolved
             for det_spec in det_specs
             for seed in seeds
         ]
+        journaled = self._journal_load() if self.resume else {}
+        counters = {"cells": len(specs), "cache_hits": 0,
+                    "journal_hits": 0, "computed": 0}
         results = [None] * len(specs)
         done = [0]
         pending = []
         for i, spec in enumerate(specs):
+            key = self._cell_key(spec)
+            replayed = journaled.get(key)
+            if replayed is not None:
+                results[i] = replayed
+                counters["journal_hits"] += 1
+                done[0] += 1
+                self._report(replayed, done[0], len(specs),
+                             cached_hit=True)
+                continue
             cached = self._cache_load(cache_dir, spec)
             if cached is not None:
                 results[i] = cached
+                counters["cache_hits"] += 1
                 done[0] += 1
                 self._report(cached, done[0], len(specs), cached_hit=True)
             else:
                 pending.append(i)
         if not pending:
+            self.last_counters = counters
             return results
 
         backend = self.backend
@@ -337,6 +401,10 @@ class ExperimentRunner:
         def on_result(pos: int, result: RunResult) -> None:
             i = pending[pos]
             results[i] = result
+            counters["computed"] += 1
+            # Journal first (fsync'd — the crash-durable record), then
+            # the best-effort content-keyed cache.
+            self._journal_append(specs[i], result)
             self._cache_store(cache_dir, specs[i], result, runtime_meta)
             done[0] += 1
             self._report(result, done[0], len(specs))
@@ -346,6 +414,7 @@ class ExperimentRunner:
         # configuration survives even when a cell raises.
         executor.map(_execute_cell, [specs[i] for i in pending],
                      on_result=on_result)
+        self.last_counters = counters
         return results
 
     # -- progress -----------------------------------------------------------
@@ -363,17 +432,21 @@ class ExperimentRunner:
 
     # -- on-disk result cache ----------------------------------------------
 
-    def _cache_path(self, cache_dir: Path, spec: dict) -> Path:
+    def _cell_key(self, spec: dict) -> str:
+        """Content digest identifying one cell across processes and runs.
+
+        The detector enters the key as its canonical spec JSON, so a
+        registry name, its explicit spec (any key order, omitted or
+        empty params), and a default-constructed live estimator all
+        hash identically — and any parameter change is a guaranteed
+        miss.  The dataset enters as its name plus the shared content
+        fingerprint over (X, y).  The runtime context (and the retry
+        policy — retries never change a cell's value) deliberately
+        stays OUT of the key: budgets and backends never change
+        results, so a sweep rerun under a different thread count must
+        still hit.  Shared by the result cache and the sweep journal.
+        """
         dataset = spec["dataset"]
-        # The detector enters the key as its canonical spec JSON, so a
-        # registry name, its explicit spec (any key order, omitted or
-        # empty params), and a default-constructed live estimator all
-        # hash identically — and any parameter change is a guaranteed
-        # miss.  The dataset enters as its name plus the shared content
-        # fingerprint over (X, y).  The runtime context deliberately
-        # stays OUT of the key: budgets and backends never change
-        # results, so a sweep rerun under a different thread count must
-        # still hit.
         key = json.dumps(
             {"version": self._CACHE_VERSION,
              "detector": canonical_spec(spec["detector"]),
@@ -384,10 +457,13 @@ class ExperimentRunner:
              "booster_kwargs": spec["booster_kwargs"]},
             sort_keys=True, default=repr,
         )
-        digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+        return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+    def _cache_path(self, cache_dir: Path, spec: dict) -> Path:
+        digest = self._cell_key(spec)
         label = spec_label(spec["detector"])
         safe = "".join(c if c.isalnum() else "-" for c in
-                       f"{label}-{dataset.name}")
+                       f"{label}-{spec['dataset'].name}")
         return cache_dir / (f"{safe}-s{spec['seed']}-{digest}.json")
 
     def _cache_load(self, cache_dir: Path | None, spec: dict):
@@ -411,13 +487,59 @@ class ExperimentRunner:
                       fh)
         os.replace(tmp, path)
 
+    # -- crash-durable sweep journal ----------------------------------------
+
+    def _journal_append(self, spec: dict, result: RunResult) -> None:
+        """Append one computed cell to the journal, crash-durably.
+
+        Runs only in the parent process — ``on_result`` callbacks fire
+        there for every executor backend — so there is exactly one
+        writer and no interleaving.  Each line is flushed *and*
+        ``fsync``'d before the next cell starts: a SIGKILL loses at most
+        the cell in flight, never a completed one.
+        """
+        if self.journal is None:
+            return
+        self.journal.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": self._cell_key(spec),
+                           "result": asdict(result)}, sort_keys=True)
+        with open(self.journal, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _journal_load(self) -> dict:
+        """Replay the journal into ``{cell_key: RunResult}``.
+
+        A torn final line (the process died mid-write before the fsync)
+        parses as malformed JSON and is skipped — it is exactly the
+        at-most-one cell the durability contract allows losing.  A
+        missing journal file is an empty sweep, not an error, so
+        ``--resume`` is safe to pass unconditionally.
+        """
+        replayed: dict = {}
+        if self.journal is None or not self.journal.exists():
+            return replayed
+        with open(self.journal) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    replayed[entry["key"]] = RunResult(**entry["result"])
+                except (ValueError, TypeError, KeyError):
+                    continue
+        return replayed
+
 
 def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
              seeds=(0,), n_iterations: int = 10, max_samples: int = 600,
              max_features: int = 32, booster_kwargs: dict | None = None,
              progress=None, n_jobs: int | None = None, cache_dir=None,
              num_threads: int | None = None,
-             backend: str | None = None) -> list:
+             backend: str | None = None, journal=None,
+             resume: bool = False, retry=None) -> list:
     """Run the full detector x dataset x seed grid.
 
     Parameters
@@ -446,6 +568,12 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
         budget across workers.
     backend : {'serial', 'thread', 'process'} or None
         Executor backend; all backends are bit-identical.
+    journal : str, Path, or None
+        fsync'd per-cell JSONL crash log (see :class:`ExperimentRunner`).
+    resume : bool
+        Replay ``journal`` before running; only missing cells execute.
+    retry : RetryPolicy, int, or None
+        Per-cell transient-failure retry inside the worker.
 
     Returns
     -------
@@ -454,7 +582,8 @@ def run_grid(detectors=DETECTOR_NAMES, datasets=DEFAULT_BENCH_DATASETS,
     """
     runner = ExperimentRunner(n_jobs=n_jobs, cache_dir=cache_dir,
                               progress=progress, num_threads=num_threads,
-                              backend=backend)
+                              backend=backend, journal=journal,
+                              resume=resume, retry=retry)
     return runner.run_grid(
         detectors=detectors, datasets=datasets, seeds=seeds,
         n_iterations=n_iterations, max_samples=max_samples,

@@ -1,0 +1,62 @@
+"""repro.resilience — deadlines, deterministic retry, breakers, chaos.
+
+The failure-handling substrate for the serving fleet and the sweep
+harness.  Three policy components (:class:`Deadline`,
+:class:`RetryPolicy`, :class:`CircuitBreaker` — all ParamsMixin, all
+spec-serialisable) give consumers one vocabulary for "how long", "try
+again how", and "stop hammering a dead peer"; a seeded
+:class:`FaultInjector` (``RunContext.faults`` / ``REPRO_FAULTS``) makes
+failures themselves reproducible so the chaos suite can hold recovery to
+the repo's standing determinism bar.
+
+>>> from repro.resilience import RetryPolicy, Deadline
+>>> policy = RetryPolicy(max_attempts=3, seed=0)
+>>> policy.schedule()            # bit-reproducible backoff delays
+(0.056..., 0.102...)
+>>> policy.call(flaky_fn, deadline=Deadline.after(2.0))
+"""
+
+from repro.resilience.faults import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    InjectedFault,
+    active_injector,
+    clear_injectors,
+    inject,
+    parse_plan,
+)
+from repro.resilience.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    RequestTimeoutError,
+    RetryPolicy,
+    is_retryable,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
+    "FaultInjector",
+    "InjectedFault",
+    "RequestTimeoutError",
+    "RetryPolicy",
+    "active_injector",
+    "clear_injectors",
+    "inject",
+    "is_retryable",
+    "parse_plan",
+]
+
+# Policies follow the estimator protocol, so registering them makes a
+# retry/breaker configuration spec-serialisable exactly like a detector:
+# to_spec(policy) / build_spec round-trip.
+from repro.api.registry import register_component as _register_component
+
+_register_component(Deadline)
+_register_component(RetryPolicy)
+_register_component(CircuitBreaker)

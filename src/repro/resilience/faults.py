@@ -1,0 +1,326 @@
+"""Deterministic fault injection for chaos testing.
+
+A **fault plan** is a small spec describing failures to inject at named
+sites inside the serving/fleet/harness stack — worker crash at request
+``k``, queue submit delay, reply drop, slow score, store read error.
+The plan rides on the runtime like every other knob: set the
+``RunContext.faults`` field (or ``REPRO_FAULTS``) and every process in
+the tree sees it, because :func:`repro.runtime.start_process` serializes
+the active context into fleet workers and the environment variable is
+inherited by children.  With no plan configured every hook is a
+short-circuit no-op, so production paths pay one ``None`` check.
+
+Determinism is the point: the plan's trigger points are either explicit
+(``crash@3`` = the 3rd matching request) or drawn from a seeded range
+(``crash@2-6`` resolves through the active ``RunContext`` seed), so a
+chaos run is exactly reproducible — the same request hits the same
+fault every time, which is what lets the chaos suite assert that scores
+*after* recovery are ``np.array_equal`` to a fault-free run.
+
+Plan grammar (clauses joined by ``;``)::
+
+    kind@at[xTIMES][:SECONDS][,key=value...]
+
+    crash@3                     worker exits on its 3rd request
+    crash@2-6                   ... on a seeded draw from requests 2..6
+    delay@1x5:0.05              50 ms submit delay on requests 1-5
+    drop@2,model=hbos           drop the reply to the 2nd hbos request
+    slow@1:0.2,worker=w0        200 ms slow-score on w0's 1st batch
+    error@1,site=store.load     first store read raises InjectedFault
+
+``kind`` picks a default site (overridable with ``site=``):
+
+========  ===================  =========================================
+kind      default site         effect when triggered
+========  ===================  =========================================
+crash     ``worker.request``   ``os._exit`` — a hard worker death
+delay     ``queue.submit``     sleep ``SECONDS`` before enqueueing
+drop      ``worker.reply``     reply never sent (caller times out)
+slow      ``service.score``    sleep ``SECONDS`` inside scoring
+error     ``store.load``       raise :class:`InjectedFault` (retryable)
+========  ===================  =========================================
+
+Other filter keys (``worker=``, ``model=``) match the keyword context
+each hook passes; an entry counts only *matching* events, and ``at`` is
+1-based over that count.  A JSON list of entry objects is accepted
+wherever the DSL is (spec starting with ``[``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.runtime import resolve_faults, resolve_seed
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "active_injector",
+    "inject",
+    "parse_plan",
+]
+
+#: Injection sites threaded through the stack.
+SITES = ("worker.request", "worker.reply", "queue.submit",
+         "service.score", "store.load", "harness.cell")
+
+KINDS = ("crash", "delay", "drop", "slow", "error")
+
+_DEFAULT_SITE = {
+    "crash": "worker.request",
+    "delay": "queue.submit",
+    "drop": "worker.reply",
+    "slow": "service.score",
+    "error": "store.load",
+}
+
+_DEFAULT_SECONDS = 0.05
+
+#: Exit code for injected crashes — distinctive in supervisor logs.
+CRASH_EXIT_CODE = 17
+
+
+class InjectedFault(RuntimeError):
+    """A failure manufactured by the fault injector.
+
+    Retryable: injected faults model transient conditions, and the whole
+    point of the chaos suite is that retry policies recover from them.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def _parse_int(raw: str, what: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"fault plan: {what} must be an integer, "
+                         f"got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"fault plan: {what} must be >= 1, got {value}")
+    return value
+
+
+def _parse_clause(clause: str) -> dict:
+    parts = [p.strip() for p in clause.split(",")]
+    core, filters = parts[0], parts[1:]
+    if "@" not in core:
+        raise ValueError(
+            f"fault plan clause {clause!r}: expected 'kind@at[...]'")
+    kind, _, trigger = core.partition("@")
+    kind = kind.strip().lower()
+    if kind not in KINDS:
+        raise ValueError(
+            f"fault plan clause {clause!r}: unknown kind {kind!r} "
+            f"(valid: {', '.join(KINDS)})")
+    seconds = None
+    if ":" in trigger:
+        trigger, _, raw = trigger.partition(":")
+        try:
+            seconds = float(raw)
+        except ValueError:
+            raise ValueError(f"fault plan clause {clause!r}: bad "
+                             f"seconds {raw!r}") from None
+    times = 1
+    if "x" in trigger:
+        trigger, _, raw = trigger.partition("x")
+        times = _parse_int(raw, "times")
+    trigger = trigger.strip()
+    if "-" in trigger:
+        lo, _, hi = trigger.partition("-")
+        at = (_parse_int(lo, "at range low"), _parse_int(hi, "at range high"))
+        if at[0] > at[1]:
+            raise ValueError(f"fault plan clause {clause!r}: empty at "
+                             f"range {trigger!r}")
+    else:
+        at = _parse_int(trigger, "at")
+    entry = {"kind": kind, "at": at, "times": times, "seconds": seconds,
+             "site": None, "filters": {}}
+    for item in filters:
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"fault plan clause {clause!r}: filter {item!r} is not "
+                f"'key=value'")
+        key, _, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if key == "site":
+            entry["site"] = value
+        else:
+            entry["filters"][key] = value
+    return entry
+
+
+def _normalize(entry: dict, index: int) -> dict:
+    entry = dict(entry)
+    kind = entry.get("kind")
+    if kind not in KINDS:
+        raise ValueError(f"fault plan entry {index}: unknown kind {kind!r}")
+    at = entry.get("at", 1)
+    if isinstance(at, (list, tuple)):
+        at = (int(at[0]), int(at[1]))
+    else:
+        at = int(at)
+    site = entry.get("site") or _DEFAULT_SITE[kind]
+    if site not in SITES:
+        raise ValueError(f"fault plan entry {index}: unknown site {site!r} "
+                         f"(valid: {', '.join(SITES)})")
+    seconds = entry.get("seconds")
+    filters = dict(entry.get("filters") or {})
+    for key in entry:
+        if key not in ("kind", "at", "times", "seconds", "site", "filters"):
+            filters[key] = str(entry[key])
+    return {
+        "kind": kind,
+        "site": site,
+        "at": at,
+        "times": int(entry.get("times", 1) or 1),
+        "seconds": float(_DEFAULT_SECONDS if seconds is None else seconds),
+        "filters": filters,
+    }
+
+
+def parse_plan(spec) -> list:
+    """Parse a plan spec (DSL string, JSON string, or list of dicts)
+    into normalized entry dicts; ``[]`` for an empty/blank spec."""
+    if spec is None:
+        return []
+    if isinstance(spec, (list, tuple)):
+        raw = list(spec)
+    else:
+        spec = str(spec).strip()
+        if not spec:
+            return []
+        if spec.startswith("["):
+            raw = json.loads(spec)
+        else:
+            raw = [_parse_clause(c) for c in spec.split(";") if c.strip()]
+    return [_normalize(entry, i) for i, entry in enumerate(raw)]
+
+
+class FaultInjector:
+    """A compiled fault plan with per-entry trigger state.
+
+    Parameters
+    ----------
+    plan : str or list
+        Plan spec (see module docstring).
+    seed : int or None
+        Resolves seeded ``at`` ranges; defaults to the active
+        :class:`~repro.runtime.RunContext` seed.  A range with no seed
+        resolves to its low end (still deterministic).
+
+    Each entry counts the events matching its site+filters; it fires on
+    the ``at``-th through ``at+times-1``-th match.  Counters live in
+    *this* process — a restarted fleet worker builds a fresh injector,
+    so plan positions are per worker incarnation by design (a crash plan
+    would otherwise kill every incarnation at the same request forever).
+    """
+
+    def __init__(self, plan, seed=None):
+        self.entries = parse_plan(plan)
+        self.seed = resolve_seed(seed)
+        for index, entry in enumerate(self.entries):
+            at = entry["at"]
+            if isinstance(at, tuple):
+                lo, hi = at
+                if self.seed is None:
+                    entry["at"] = lo
+                else:
+                    rng = np.random.default_rng(
+                        [int(self.seed) % (2 ** 63), index])
+                    entry["at"] = int(rng.integers(lo, hi + 1))
+            entry["matched"] = 0
+            entry["fired"] = 0
+        self._lock = threading.Lock()
+
+    def _triggered(self, site: str, ctx: dict) -> list:
+        fired = []
+        with self._lock:
+            for entry in self.entries:
+                if entry["site"] != site:
+                    continue
+                if any(str(ctx.get(key)) != value
+                       for key, value in entry["filters"].items()):
+                    continue
+                entry["matched"] += 1
+                position = entry["matched"]
+                if entry["at"] <= position < entry["at"] + entry["times"]:
+                    entry["fired"] += 1
+                    fired.append(entry)
+        return fired
+
+    def apply(self, site: str, **ctx):
+        """Run the plan at ``site``; returns ``"drop"`` when a reply
+        should be dropped, ``None`` otherwise.  May sleep, raise
+        :class:`InjectedFault`, or hard-exit the process (crash)."""
+        dropped = None
+        for entry in self._triggered(site, ctx):
+            kind = entry["kind"]
+            if kind in ("delay", "slow"):
+                time.sleep(entry["seconds"])
+            elif kind == "drop":
+                dropped = "drop"
+            elif kind == "error":
+                raise InjectedFault(
+                    f"injected {site} fault"
+                    + (f" ({ctx})" if ctx else ""))
+            elif kind == "crash":
+                # A real crash: no cleanup, no exception propagation —
+                # exactly what SIGKILL recovery paths must handle.
+                os._exit(CRASH_EXIT_CODE)
+        return dropped
+
+    def stats(self) -> list:
+        with self._lock:
+            return [dict(entry) for entry in self.entries]
+
+
+# -- process-wide resolution -------------------------------------------------
+
+_cache_lock = threading.Lock()
+_injectors: dict = {}
+
+
+def active_injector() -> FaultInjector | None:
+    """The injector for the currently-resolved plan, or ``None``.
+
+    Compiled injectors are cached per ``(plan spec, seed)`` so trigger
+    counters accumulate across calls — ``crash@3`` means the 3rd request
+    this process handles, not the 3rd request under any one scope.
+    """
+    spec = resolve_faults()
+    if spec is None:
+        return None
+    seed = resolve_seed()
+    key = (spec, seed)
+    with _cache_lock:
+        injector = _injectors.get(key)
+        if injector is None:
+            injector = FaultInjector(spec, seed=seed)
+            _injectors[key] = injector
+        return injector
+
+
+def clear_injectors() -> None:
+    """Drop all cached injectors (test isolation helper)."""
+    with _cache_lock:
+        _injectors.clear()
+
+
+def inject(site: str, **ctx):
+    """The hook consumers call: a no-op unless a plan is active."""
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.apply(site, **ctx)

@@ -1,0 +1,440 @@
+"""Resilience policies: deadlines, deterministic retry, circuit breakers.
+
+The fleet and the sweep harness *emit* retryable failure signals —
+``FleetOverloadedError`` backpressure rejects with a ``retry_after``
+hint, ``WorkerCrashedError`` during a restart window — but before this
+module nothing consumed them: every caller saw raw exceptions and every
+layer carried its own ad-hoc ``timeout`` float.  This module is the
+shared vocabulary those consumers now speak:
+
+* :class:`Deadline` — one propagated time budget for an operation tree,
+  replacing scattered per-layer timeout floats.  A deadline is *started*
+  once and every nested wait clamps to what remains, so a request takes
+  at most its budget end to end instead of ``sum(layer timeouts)``.
+* :class:`RetryPolicy` — exponential backoff whose jitter is **seeded**:
+  the delay for attempt ``k`` is a pure function of ``(seed, k)``, with
+  the seed resolving through the active :class:`~repro.runtime.RunContext`
+  (explicit arg > policy field > context seed), so retry schedules are
+  bit-reproducible exactly like scores.  Server ``retry_after`` hints
+  are honoured as a floor, never ignored.
+* :class:`CircuitBreaker` — consecutive-failure trip wire with the
+  classic closed / open / half-open state machine and metrics counters,
+  so a caller stops hammering a peer that is demonstrably down and
+  probes it gently instead.
+
+All three are :class:`~repro.api.params.ParamsMixin` components, so
+policies ``get_params``/``clone``/spec-serialize like every other
+configurable object in the repo.
+
+Retryability is a property of the *error*, not the caller: exceptions
+carry a ``retryable`` class attribute (see :func:`is_retryable`), and
+the fleet/serving errors (``FleetOverloadedError``,
+``WorkerCrashedError``, :class:`RequestTimeoutError`,
+:class:`CircuitOpenError`, injected faults) opt in explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.api.params import ParamsMixin
+from repro.runtime import resolve_seed
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
+    "RequestTimeoutError",
+    "RetryPolicy",
+    "is_retryable",
+]
+
+#: Circuit-breaker states, in trip order.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class DeadlineExceededError(RuntimeError):
+    """The operation's time budget ran out.
+
+    Non-retryable by definition: retrying cannot manufacture budget —
+    the caller must come back with a fresh deadline.
+    """
+
+    retryable = False
+
+
+class RequestTimeoutError(RuntimeError):
+    """A single request exceeded its wait bound while the worker stayed
+    alive.
+
+    Distinct from ``WorkerCrashedError`` on purpose: a slow reply means
+    the worker is overloaded or the reply was lost, not that the shard
+    is down — breakers and retry policies must be able to tell slow from
+    dead (the HTTP layer maps this to 504, a crash to 503).  Retryable:
+    the request can be re-issued, typically to a ring successor.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.5,
+                 worker_id=None):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.worker_id = worker_id
+
+
+class CircuitOpenError(RuntimeError):
+    """Rejected locally: the target's circuit breaker is open.
+
+    Retryable after ``retry_after`` (the breaker's remaining reset
+    window) — the half-open probe will decide whether the target is
+    back.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.5):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True if ``exc`` declares itself safe to retry.
+
+    The convention: transient conditions (backpressure rejects, crash
+    windows, request timeouts, open breakers, injected faults) carry a
+    ``retryable = True`` class attribute; everything else — including
+    genuine model/user errors like ``KeyError`` and ``ValueError`` — is
+    final.
+    """
+    return bool(getattr(exc, "retryable", False))
+
+
+class Deadline(ParamsMixin):
+    """A propagated time budget: one bound for a whole operation tree.
+
+    Parameters
+    ----------
+    budget : float
+        Seconds the operation may take end to end.  The countdown arms
+        on :meth:`start` (or lazily on first consultation), so a
+        constructed-but-unused deadline costs nothing.
+
+    A started deadline is consulted, never reset: pass it down the call
+    stack and let every nested wait bound itself with :meth:`clamp`.
+    """
+
+    def __init__(self, budget: float):
+        budget = float(budget)
+        if budget <= 0:
+            raise ValueError(f"budget must be > 0, got {budget}")
+        self.budget = budget
+        self._expires_at = None
+
+    @classmethod
+    def after(cls, budget: float) -> "Deadline":
+        """A deadline already counting down from now."""
+        return cls(budget).start()
+
+    @classmethod
+    def coerce(cls, value) -> "Deadline | None":
+        """Normalise ``None`` / seconds / ``Deadline`` into a started
+        deadline (or ``None`` for no bound)."""
+        if value is None:
+            return None
+        if isinstance(value, Deadline):
+            return value.start()
+        return cls.after(float(value))
+
+    def start(self) -> "Deadline":
+        """Arm the countdown (idempotent); returns ``self``."""
+        if self._expires_at is None:
+            self._expires_at = time.monotonic() + self.budget
+        return self
+
+    def remaining(self) -> float:
+        """Seconds left (>= 0.0); arms the countdown on first call."""
+        self.start()
+        return max(0.0, self._expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget:g}s deadline")
+
+    def clamp(self, timeout: float) -> float:
+        """``timeout`` bounded by what remains of the budget.
+
+        The glue that replaces per-layer timeout floats: each nested
+        wait asks for its usual bound and receives no more than the
+        operation has left.
+        """
+        return min(float(timeout), self.remaining())
+
+    def __repr__(self) -> str:
+        if self._expires_at is None:
+            return f"Deadline(budget={self.budget!r})"
+        return (f"Deadline(budget={self.budget!r}, "
+                f"remaining={self.remaining():.3f})")
+
+
+class RetryPolicy(ParamsMixin):
+    """Deterministic exponential backoff with seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts : int
+        Total tries, including the first (1 = no retries).
+    base_delay : float
+        Backoff before the first retry, in seconds.
+    multiplier : float
+        Exponential growth factor per attempt.
+    max_delay : float
+        Cap on the un-jittered backoff.
+    jitter : float
+        Jitter fraction: the delay is scaled by ``1 + jitter * u`` with
+        ``u ~ U[0, 1)`` drawn deterministically from the seed — spread
+        without sacrificing reproducibility.
+    seed : int or None
+        Jitter seed.  ``None`` resolves through the active
+        :class:`~repro.runtime.RunContext` seed (the same policy that
+        pins every other unseeded component); if that is also unset the
+        jitter draws fresh entropy.
+
+    The delay for attempt ``k`` is a **pure function** of
+    ``(seed, k)`` — no mutable generator state — so concurrent callers
+    sharing one policy observe identical schedules and a schedule is
+    reproducible from the ``RunContext`` seed alone.
+    """
+
+    def __init__(self, max_attempts: int = 4, base_delay: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 2.0,
+                 jitter: float = 0.1, seed=None):
+        max_attempts = int(max_attempts)
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = None if seed is None else int(seed)
+
+    def _resolve_seed(self, explicit=None):
+        if explicit is not None:
+            return int(explicit)
+        if self.seed is not None:
+            return self.seed
+        return resolve_seed()
+
+    def delay(self, attempt: int, retry_after=None, seed=None) -> float:
+        """Backoff before retry number ``attempt`` (0-based).
+
+        A server-supplied ``retry_after`` hint is a *floor*: the policy
+        never comes back earlier than the peer asked, and still applies
+        its own (possibly larger) backoff.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        backoff = min(self.max_delay,
+                      self.base_delay * self.multiplier ** attempt)
+        if self.jitter > 0 and backoff > 0:
+            resolved = self._resolve_seed(seed)
+            if resolved is None:
+                u = np.random.default_rng().random()
+            else:
+                # Seed entries must be non-negative; fold the attempt in
+                # so each retry draws an independent-but-reproducible u.
+                rng = np.random.default_rng(
+                    [resolved % (2 ** 63), int(attempt)])
+                u = rng.random()
+            backoff *= 1.0 + self.jitter * u
+        if retry_after is not None:
+            backoff = max(backoff, float(retry_after))
+        return backoff
+
+    def schedule(self, n: int | None = None, seed=None) -> tuple:
+        """The first ``n`` retry delays (default: every retry this policy
+        would make) — the reproducibility surface the chaos tests pin."""
+        if n is None:
+            n = self.max_attempts - 1
+        return tuple(self.delay(a, seed=seed) for a in range(n))
+
+    def call(self, fn, *, deadline: Deadline | None = None,
+             retryable=None, sleep=time.sleep, on_retry=None, seed=None):
+        """Run ``fn()`` under this policy.
+
+        Retries only errors ``retryable(exc)`` accepts (default:
+        :func:`is_retryable`), honouring each error's ``retry_after``
+        hint and the operation ``deadline``: a retry whose backoff would
+        outlive the remaining budget re-raises immediately instead of
+        sleeping into certain failure.  ``on_retry(attempt, exc, delay)``
+        is the observability hook.
+        """
+        retryable = is_retryable if retryable is None else retryable
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if attempt + 1 >= self.max_attempts or not retryable(exc):
+                    raise
+                pause = self.delay(
+                    attempt, retry_after=getattr(exc, "retry_after", None),
+                    seed=seed)
+                if deadline is not None and pause >= deadline.remaining():
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                if pause > 0:
+                    sleep(pause)
+                attempt += 1
+
+
+class CircuitBreaker(ParamsMixin):
+    """Consecutive-failure trip wire with half-open probing.
+
+    Parameters
+    ----------
+    failure_threshold : int
+        Consecutive failures that open the circuit.
+    reset_timeout : float
+        Seconds the circuit stays open before probing.
+    half_open_max : int
+        Concurrent probe calls admitted while half-open.
+
+    States: ``closed`` (all calls pass; failures count), ``open`` (all
+    calls rejected with :class:`CircuitOpenError` until ``reset_timeout``
+    elapses), ``half_open`` (up to ``half_open_max`` probes pass; one
+    success closes the circuit, one failure re-opens it).  Thread-safe;
+    every transition and rejection is counted for ``stats()``.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout: float = 5.0, half_open_max: int = 1):
+        failure_threshold = int(failure_threshold)
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be > 0, got {reset_timeout}")
+        half_open_max = int(half_open_max)
+        if half_open_max < 1:
+            raise ValueError(
+                f"half_open_max must be >= 1, got {half_open_max}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_max = half_open_max
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probes_inflight = 0
+        self._counters = {"successes": 0, "failures": 0, "opened": 0,
+                          "rejected": 0, "probes": 0}
+
+    # -- state machine -----------------------------------------------------
+    def _tick(self) -> None:
+        """open -> half_open once the reset window has elapsed.
+
+        Called under the lock by every public entry point, so the
+        transition happens on observation — no timer thread needed.
+        """
+        if self._state == "open" and \
+                time.monotonic() - self._opened_at >= self.reset_timeout:
+            self._state = "half_open"
+            self._probes_inflight = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def allow(self) -> bool:
+        """True if a call may proceed now (reserves a probe slot when
+        half-open); counts a rejection otherwise."""
+        with self._lock:
+            self._tick()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open":
+                if self._probes_inflight < self.half_open_max:
+                    self._probes_inflight += 1
+                    self._counters["probes"] += 1
+                    return True
+            self._counters["rejected"] += 1
+            return False
+
+    def acquire(self, what: str = "call") -> None:
+        """:meth:`allow` or raise :class:`CircuitOpenError` with the
+        remaining reset window as the ``retry_after`` hint."""
+        if self.allow():
+            return
+        with self._lock:
+            remaining = self.reset_timeout
+            if self._opened_at is not None:
+                remaining = max(
+                    0.05, self.reset_timeout
+                    - (time.monotonic() - self._opened_at))
+        raise CircuitOpenError(
+            f"circuit breaker is {self._state} for {what} "
+            f"({self._consecutive_failures} consecutive failures)",
+            retry_after=round(remaining, 3))
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._tick()
+            self._counters["successes"] += 1
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._state = "closed"
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._tick()
+            self._counters["failures"] += 1
+            self._consecutive_failures += 1
+            if self._state == "half_open" \
+                    or self._consecutive_failures >= self.failure_threshold:
+                if self._state != "open":
+                    self._counters["opened"] += 1
+                self._state = "open"
+                self._opened_at = time.monotonic()
+                self._probes_inflight = 0
+
+    def reset(self) -> None:
+        """Force-close the circuit (operational override)."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probes_inflight = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            self._tick()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                **self._counters,
+            }

@@ -35,6 +35,7 @@ from repro.runtime.context import (
     resolve_cache_dir,
     resolve_cache_enabled,
     resolve_dtype,
+    resolve_faults,
     resolve_n_jobs,
     resolve_num_threads,
     resolve_seed,
@@ -58,6 +59,7 @@ __all__ = [
     "resolve_cache_dir",
     "resolve_cache_enabled",
     "resolve_dtype",
+    "resolve_faults",
     "resolve_n_jobs",
     "resolve_num_threads",
     "resolve_seed",

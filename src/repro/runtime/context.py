@@ -14,7 +14,7 @@ everywhere through one order:
     explicit argument  >  active context  >  environment variable  >  default
 
 Environment variables (``REPRO_NUM_THREADS``, ``REPRO_BENCH_JOBS``,
-``REPRO_BENCH_CACHE``) are read **only** inside
+``REPRO_BENCH_CACHE``, ``REPRO_FAULTS``) are read **only** inside
 :meth:`RunContext.from_env` — one audited construction site instead of
 ad-hoc reads scattered through consumers.  A constructed context freezes
 the values it was built from; fully-unconfigured resolution consults the
@@ -58,6 +58,7 @@ __all__ = [
     "resolve_cache_dir",
     "resolve_cache_enabled",
     "resolve_dtype",
+    "resolve_faults",
     "resolve_n_jobs",
     "resolve_num_threads",
     "resolve_seed",
@@ -65,7 +66,8 @@ __all__ = [
     "snapshot",
 ]
 
-_FIELDS = ("seed", "num_threads", "n_jobs", "cache", "cache_dir", "dtype")
+_FIELDS = ("seed", "num_threads", "n_jobs", "cache", "cache_dir", "dtype",
+           "faults")
 _DTYPES = ("float32", "float64")
 
 _lock = threading.Lock()
@@ -123,6 +125,14 @@ class RunContext(ParamsMixin):
     dtype : {'float32', 'float64'} or None
         Default training precision for components whose ``dtype`` is
         unset (``None`` -> float32, the historical default).
+    faults : str or None
+        Fault-injection plan for chaos testing (``REPRO_FAULTS`` is the
+        environment equivalent; see :mod:`repro.resilience.faults` for
+        the grammar).  ``None`` — the production default — means no
+        injection: every hook is a no-op.  Like ``seed``, this field
+        deliberately changes *behaviour* (it injects failures), but the
+        standing bar still holds: scores that survive the injected
+        faults are exactly equal to fault-free scores.
 
     All fields default to ``None`` — "inherit from the enclosing
     context, then the environment, then the built-in default".  The
@@ -131,7 +141,7 @@ class RunContext(ParamsMixin):
     """
 
     def __init__(self, seed=None, num_threads=None, n_jobs=None,
-                 cache=None, cache_dir=None, dtype=None):
+                 cache=None, cache_dir=None, dtype=None, faults=None):
         object.__setattr__(self, "_building", True)
         try:
             if seed is not None:
@@ -154,12 +164,17 @@ class RunContext(ParamsMixin):
                 if dtype not in _DTYPES:
                     raise ValueError(
                         f"dtype must be one of {_DTYPES}, got {dtype!r}")
+            if faults is not None:
+                faults = str(faults)
+                if not faults.strip():
+                    faults = None
             self.seed = seed
             self.num_threads = num_threads
             self.n_jobs = n_jobs
             self.cache = cache
             self.cache_dir = cache_dir
             self.dtype = dtype
+            self.faults = faults
         finally:
             object.__setattr__(self, "_building", False)
 
@@ -205,6 +220,7 @@ class RunContext(ParamsMixin):
             num_threads=_parse_positive_int(env.get("REPRO_NUM_THREADS")),
             n_jobs=_parse_positive_int(env.get("REPRO_BENCH_JOBS")),
             cache_dir=(env.get("REPRO_BENCH_CACHE") or None),
+            faults=(env.get("REPRO_FAULTS") or None),
         )
 
     @classmethod
@@ -385,6 +401,23 @@ def resolve_cache_dir(explicit=None):
     return RunContext.from_env().cache_dir
 
 
+def resolve_faults(explicit=None):
+    """Fault-injection plan spec (``None`` = no injection).
+
+    Unlike the other knobs this one is consulted on hot paths (every
+    request hook), so consumers should go through
+    :func:`repro.resilience.faults.active_injector`, which caches the
+    compiled plan per spec string.
+    """
+    if explicit is not None:
+        explicit = str(explicit)
+        return explicit if explicit.strip() else None
+    ctx = active_context()
+    if ctx is not None and ctx.faults is not None:
+        return ctx.faults
+    return RunContext.from_env().faults
+
+
 def resolve_dtype(explicit=None) -> str:
     """Default training precision (historical default: float32)."""
     if explicit is not None:
@@ -410,6 +443,7 @@ def resolved() -> dict:
         "cache": resolve_cache_enabled(),
         "cache_dir": resolve_cache_dir(),
         "dtype": resolve_dtype(),
+        "faults": resolve_faults(),
     }
 
 
@@ -421,7 +455,8 @@ def snapshot() -> dict:
 
 
 _DEFAULTS = {"seed": None, "num_threads": "cpu count", "n_jobs": 1,
-             "cache": True, "cache_dir": None, "dtype": "float32"}
+             "cache": True, "cache_dir": None, "dtype": "float32",
+             "faults": None}
 
 
 def describe() -> list:

@@ -47,6 +47,7 @@ from repro.serving.fleet import (
     HashRing,
     ScoringFleet,
     WorkerCrashedError,
+    WorkerFailedError,
 )
 from repro.serving.server import build_server, serve
 from repro.serving.service import ScoringService
@@ -59,6 +60,7 @@ __all__ = [
     "ScoringFleet",
     "ScoringService",
     "WorkerCrashedError",
+    "WorkerFailedError",
     "build_server",
     "load_model",
     "read_manifest",

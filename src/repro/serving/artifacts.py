@@ -312,6 +312,11 @@ class ModelStore:
         return read_manifest(self.path_for(model_id))
 
     def load(self, model_id: str):
+        # Chaos hook: an "error" plan entry raises a retryable
+        # InjectedFault here (a transient storage read failure); no-op
+        # unless a fault plan is active.
+        from repro.resilience.faults import inject
+        inject("store.load", model=model_id)
         return load_model(self.path_for(model_id))
 
     def save(self, model, model_id: str, **kwargs) -> Path:

@@ -35,6 +35,7 @@ from repro.serving.fleet.sharding import HashRing
 from repro.serving.fleet.supervisor import (
     Supervisor,
     WorkerCrashedError,
+    WorkerFailedError,
     WorkerHandle,
 )
 from repro.serving.fleet.worker import worker_main
@@ -45,6 +46,7 @@ __all__ = [
     "ScoringFleet",
     "Supervisor",
     "WorkerCrashedError",
+    "WorkerFailedError",
     "WorkerHandle",
     "worker_main",
 ]

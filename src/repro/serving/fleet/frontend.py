@@ -7,24 +7,35 @@ hashing assigns it, behind one frontend that
 
 * **routes** every request to its model's shard owner (live-membership
   consistent hashing: a crashed worker's models are served by ring
-  successors until the supervisor's replacement is ready — placement
-  never changes scores, so re-routing is invisible in the results);
+  successors until the supervisor's replacement is ready, a *failed*
+  worker's permanently — placement never changes scores, so re-routing
+  is invisible in the results);
 * **admits** requests through explicit bounds instead of unbounded
   buffering: a per-worker in-flight cap (queue depth) and a per-model
   in-flight cap (QoS — one hot model cannot monopolise every worker
   slot).  Over-cap requests are rejected *immediately* with
   :class:`FleetOverloadedError` carrying a ``retry_after`` hint, which
   the HTTP layer turns into ``503`` + ``Retry-After``;
+* **recovers** (opt-in): with a :class:`~repro.resilience.RetryPolicy`
+  installed, retryable failures — crash windows, lost replies,
+  backpressure rejects, injected faults — are retried under one
+  propagated :class:`~repro.resilience.Deadline`, excluding the worker
+  that just failed so the retry lands on a ring successor; per-worker
+  and per-model :class:`~repro.resilience.CircuitBreaker` clones stop
+  traffic to peers that keep failing and probe them half-open;
 * **observes**: :meth:`stats` aggregates per-worker heartbeat stats
   (queue depth, batch sizes, cache hit rates, p50/p99 latency, restarts)
-  with frontend counters (rejections, re-routes) — served over HTTP as
-  ``GET /stats``.
+  with frontend counters (rejections, re-routes, retries, timeouts) —
+  served over HTTP as ``GET /stats``; :meth:`health` distinguishes
+  ``ok`` / ``degraded`` (open breakers, restarting or failed workers) /
+  ``failing`` (no healthy worker at all).
 
 Determinism bar: for any worker count, a request scored through the
 fleet returns exactly (``np.array_equal``) the scores the single-process
 service returns — workers *are* ScoringServices over the same artifacts,
-and placement/queueing affect only latency.  ``tests/serving/``
-asserts this for 1/2/4 workers.
+and placement/queueing/retries affect only latency.  ``tests/serving/``
+asserts this for 1/2/4 workers; ``tests/resilience/`` re-asserts it
+under seeded crash/delay/drop fault plans.
 
 The API is duck-compatible with :class:`ScoringService` (``score`` /
 ``models`` / ``stats`` / ``close`` / ``store``), so the HTTP server and
@@ -35,12 +46,27 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from pathlib import Path
 
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    InjectedFault,
+    RequestTimeoutError,
+    RetryPolicy,
+    is_retryable,
+)
 from repro.runtime import snapshot as _runtime_snapshot
 from repro.serving.artifacts import ArtifactError, ModelStore
 from repro.serving.fleet.sharding import HashRing
-from repro.serving.fleet.supervisor import Supervisor, WorkerCrashedError
+from repro.serving.fleet.supervisor import (
+    Supervisor,
+    WorkerCrashedError,
+    WorkerFailedError,
+)
 from repro.serving.service import as_score_matrix
 
 __all__ = ["FleetOverloadedError", "ScoringFleet"]
@@ -54,7 +80,14 @@ _ERROR_TYPES = {
     "RuntimeError": RuntimeError,
     "ArtifactError": ArtifactError,
     "LookupError": LookupError,
+    "InjectedFault": InjectedFault,
 }
+
+#: Errors that count against circuit breakers: the serving substrate
+#: failed to answer.  Model-level errors (KeyError, ValueError, ...) are
+#: proof the worker *is* answering and record as breaker successes.
+_INFRA_ERRORS = (WorkerCrashedError, WorkerFailedError,
+                 RequestTimeoutError, InjectedFault)
 
 
 class FleetOverloadedError(RuntimeError):
@@ -63,8 +96,10 @@ class FleetOverloadedError(RuntimeError):
     Backpressure by explicit reject — the caller is told *when* to come
     back (``retry_after`` seconds, an estimate from the current queue
     depth and recent per-request latency) instead of the fleet buffering
-    unboundedly and timing everyone out.
+    unboundedly and timing everyone out.  Retryable by definition.
     """
+
+    retryable = True
 
     def __init__(self, message: str, retry_after: float):
         super().__init__(message)
@@ -105,9 +140,29 @@ class ScoringFleet:
     start_timeout : float
         Boot deadline for all ready handshakes.
     request_timeout : float
-        Upper bound a caller waits on one in-flight request before it is
-        failed as crashed (covers the unobservable lost-message window
-        around a worker death).
+        Upper bound a caller waits on one in-flight request; past it the
+        request fails as :class:`RequestTimeoutError` when the worker is
+        demonstrably alive (slow or lost reply) or
+        :class:`WorkerCrashedError` when it is not.
+    retry_policy : RetryPolicy or None
+        ``None`` (default) keeps the historical contract: every failure
+        surfaces to the caller immediately.  With a policy installed,
+        :meth:`score` retries retryable failures under the request
+        deadline, excluding the worker that just failed so retries land
+        on ring successors, honouring ``retry_after`` hints, with
+        seeded (bit-reproducible) backoff.
+    breaker : CircuitBreaker or None
+        Prototype cloned per worker and (lazily) per model.  ``None``
+        disables circuit breaking.
+    deadline : float, Deadline, or None
+        Default per-request time budget (seconds).  Each request gets a
+        fresh countdown; a ``deadline=`` passed to :meth:`score`
+        overrides and is consulted *as given*, so callers can share one
+        deadline across calls to bound a whole operation tree.
+    max_restarts : int
+        Crash restarts per worker before the supervisor gives up on it
+        (state ``failed``, shard permanently re-routed, pending requests
+        failed with the non-retryable :class:`WorkerFailedError`).
     """
 
     def __init__(self, store, n_workers: int = 2, *, cache_size: int = 4,
@@ -117,7 +172,10 @@ class ScoringFleet:
                  replicas: int = 64, heartbeat_interval: float = 0.25,
                  monitor_interval: float = 0.25,
                  start_timeout: float = 60.0,
-                 request_timeout: float = 120.0):
+                 request_timeout: float = 120.0,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 deadline=None, max_restarts: int = 20):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if max_inflight_per_worker < 1 or max_inflight_per_model < 1:
@@ -129,6 +187,9 @@ class ScoringFleet:
         self.max_inflight_per_worker = int(max_inflight_per_worker)
         self.max_inflight_per_model = int(max_inflight_per_model)
         self.request_timeout = float(request_timeout)
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.deadline = deadline
         worker_ids = tuple(f"w{index}" for index in range(self.n_workers))
         self.ring = HashRing(worker_ids, replicas=replicas)
         shards = self.ring.shard_map(self.store.ids())
@@ -137,12 +198,17 @@ class ScoringFleet:
             {"cache_size": cache_size, "max_batch_rows": max_batch_rows,
              "micro_batch": micro_batch,
              "heartbeat_interval": heartbeat_interval},
-            monitor_interval=monitor_interval, start_timeout=start_timeout)
+            monitor_interval=monitor_interval, start_timeout=start_timeout,
+            max_restarts=max_restarts)
         self._request_ids = itertools.count()
         self._admission_lock = threading.Lock()
         self._model_inflight: dict = {}
         self._counters = {"requests": 0, "rejected": 0, "errors": 0,
-                          "rerouted": 0, "crashed": 0}
+                          "rerouted": 0, "crashed": 0, "retries": 0,
+                          "timeouts": 0, "breaker_open": 0}
+        self._worker_breakers = {} if breaker is None else {
+            worker_id: breaker.clone() for worker_id in worker_ids}
+        self._model_breakers: dict = {}
         self._runtime = _runtime_snapshot()
         self._closed = False
         self._supervisor.start()
@@ -152,36 +218,138 @@ class ScoringFleet:
         """Model ids available in the backing store."""
         return self.store.ids()
 
-    def score(self, model_id: str, X):
+    def score(self, model_id: str, X, *, deadline=None):
         """Anomaly scores of ``X`` under ``model_id`` through the fleet.
 
         Exactly the single-service answer, for any worker count.  Raises
         ``KeyError`` (unknown model), ``ValueError`` (malformed input),
-        :class:`FleetOverloadedError` (admission reject, retryable) or
-        :class:`WorkerCrashedError` (in-flight loss, retryable).
+        :class:`FleetOverloadedError` (admission reject, retryable),
+        :class:`RequestTimeoutError` (slow/lost reply while the worker
+        is alive, retryable), :class:`WorkerCrashedError` (in-flight
+        loss, retryable), :class:`WorkerFailedError` (worker given up
+        on, *not* retryable), or
+        :class:`~repro.resilience.DeadlineExceededError` (budget spent).
+
+        With a ``retry_policy`` installed, retryable failures are
+        retried here under the single request ``deadline``, each attempt
+        excluding the workers that already failed this request so the
+        retry lands on a ring successor.
         """
         if self._closed:
             raise RuntimeError("ScoringFleet is closed")
         arr = as_score_matrix(X)
-        handle, rerouted = self._route(str(model_id))
-        reply, request_id = None, next(self._request_ids)
-        self._admit(str(model_id), handle, rerouted)
+        model_id = str(model_id)
+        deadline = self._request_deadline(deadline)
+        policy = self.retry_policy
+        if policy is None:
+            return self._score_once(model_id, arr, deadline, frozenset())
+        exclude: set = set()
+        attempt = 0
+        while True:
+            try:
+                return self._score_once(model_id, arr, deadline, exclude)
+            except Exception as exc:
+                if attempt + 1 >= policy.max_attempts \
+                        or not is_retryable(exc):
+                    raise
+                worker_id = getattr(exc, "worker_id", None)
+                if worker_id is not None:
+                    exclude.add(worker_id)
+                pause = policy.delay(
+                    attempt, retry_after=getattr(exc, "retry_after", None))
+                if deadline is not None and pause >= deadline.remaining():
+                    raise
+                self._count("retries")
+                time.sleep(pause)
+                attempt += 1
+
+    def _request_deadline(self, explicit) -> Deadline | None:
+        """The deadline governing one ``score`` call."""
+        if explicit is not None:
+            return Deadline.coerce(explicit)
+        if self.deadline is None:
+            return None
+        budget = self.deadline.budget \
+            if isinstance(self.deadline, Deadline) else float(self.deadline)
+        return Deadline.after(budget)
+
+    def _score_once(self, model_id: str, arr, deadline, exclude):
+        """One routed attempt: breakers -> admission -> submit -> wait."""
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError(
+                f"score({model_id!r}) exceeded its "
+                f"{deadline.budget:g}s deadline")
+        handle, rerouted = self._route(model_id, exclude)
+        worker_breaker = self._worker_breakers.get(handle.worker_id)
+        model_breaker = self._model_breaker(model_id)
+        # Labels are built lazily: this check runs per request and must
+        # not allocate on the (overwhelmingly common) allowed path.
+        for breaker, kind in ((worker_breaker, "worker"),
+                              (model_breaker, "model")):
+            if breaker is not None and not breaker.allow():
+                self._count("breaker_open")
+                what = f"worker {handle.worker_id}" if kind == "worker" \
+                    else f"model {model_id!r}"
+                raise CircuitOpenError(
+                    f"circuit breaker is open for {what}",
+                    retry_after=round(breaker.reset_timeout / 4, 3))
+        # Both breakers admitted this attempt (reserving probe slots when
+        # half-open), so every path below must record an outcome on them.
+        error = None
         try:
-            reply = handle.submit("score", request_id, str(model_id), arr)
-            if not reply.event.wait(timeout=self.request_timeout):
-                raise WorkerCrashedError(
-                    f"request to worker {handle.worker_id} timed out "
-                    f"after {self.request_timeout:.0f}s")
-        finally:
-            self._release(str(model_id))
-        if reply.error is not None:
-            self._count("errors")
-            if isinstance(reply.error, Exception):
-                if isinstance(reply.error, WorkerCrashedError):
+            request_id = next(self._request_ids)
+            self._admit(model_id, handle, rerouted)
+            try:
+                reply = handle.submit("score", request_id, model_id, arr)
+                timeout = self.request_timeout if deadline is None \
+                    else deadline.clamp(self.request_timeout)
+                if not reply.event.wait(timeout=timeout):
+                    # Give up on this reply slot so it cannot leak (or
+                    # complete into nowhere) after we stop waiting.
+                    handle.forget(request_id)
+                    if deadline is not None and deadline.expired:
+                        raise DeadlineExceededError(
+                            f"score({model_id!r}) exceeded its "
+                            f"{deadline.budget:g}s deadline waiting on "
+                            f"worker {handle.worker_id}")
+                    if handle.is_alive():
+                        self._count("timeouts")
+                        raise RequestTimeoutError(
+                            f"request to worker {handle.worker_id} timed "
+                            f"out after {timeout:.1f}s (worker alive: "
+                            f"slow or lost reply)",
+                            retry_after=round(
+                                self._latency_estimate(handle), 3),
+                            worker_id=handle.worker_id)
+                    raise WorkerCrashedError(
+                        f"request to worker {handle.worker_id} timed out "
+                        f"after {timeout:.1f}s and the worker is dead",
+                        worker_id=handle.worker_id)
+            finally:
+                self._release(model_id)
+            if reply.error is not None:
+                self._count("errors")
+                if isinstance(reply.error, Exception):
+                    error = reply.error
+                else:
+                    error = _rebuild_error(reply.error)
+                if isinstance(error, WorkerCrashedError):
                     self._count("crashed")
-                raise reply.error
-            raise _rebuild_error(reply.error)
-        return reply.value
+                    if error.worker_id is None:
+                        error.worker_id = handle.worker_id
+                raise error
+            return reply.value
+        except Exception as exc:
+            error = exc
+            raise
+        finally:
+            infra = isinstance(error, _INFRA_ERRORS)
+            for breaker in (worker_breaker, model_breaker):
+                if breaker is not None:
+                    if infra:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
 
     def stats(self) -> dict:
         """Fleet-wide observability: frontend counters + per-worker stats.
@@ -189,9 +357,10 @@ class ScoringFleet:
         Worker entries merge the supervisor's lifecycle view (state, pid,
         restarts, in-flight, heartbeat age) with the worker's own latest
         heartbeat payload (micro-batch counters, cache hit rates, queue
-        depth, p50/p99 latency).  ``runtime`` is the RunContext snapshot
-        the fleet was constructed under — the context every worker
-        process activated at boot.
+        depth, p50/p99 latency).  ``resilience`` reports the installed
+        policies and live breaker states; ``runtime`` is the RunContext
+        snapshot the fleet was constructed under — the context every
+        worker process activated at boot.
         """
         workers = {}
         for worker_id, handle in self._supervisor.handles.items():
@@ -200,6 +369,7 @@ class ScoringFleet:
             workers[worker_id] = info
         with self._admission_lock:
             counters = dict(self._counters)
+            model_breakers = dict(self._model_breakers)
         healthy = self._supervisor.healthy_ids()
         return {
             **counters,
@@ -213,31 +383,106 @@ class ScoringFleet:
             "limits": {
                 "max_inflight_per_worker": self.max_inflight_per_worker,
                 "max_inflight_per_model": self.max_inflight_per_model},
+            "resilience": {
+                "retry_policy": None if self.retry_policy is None
+                else self.retry_policy.get_params(),
+                "deadline": None if self.deadline is None else (
+                    self.deadline.budget
+                    if isinstance(self.deadline, Deadline)
+                    else float(self.deadline)),
+                "breakers": {
+                    "workers": {wid: b.stats() for wid, b
+                                in self._worker_breakers.items()},
+                    "models": {mid: b.stats() for mid, b
+                               in model_breakers.items()},
+                },
+            },
             "workers": workers,
             "runtime": self._runtime,
         }
 
     def health(self) -> dict:
-        """Compact liveness summary for ``/healthz``."""
+        """Liveness summary for ``/healthz`` with a three-state verdict.
+
+        ``status`` is ``"ok"`` (full strength), ``"degraded"`` (serving,
+        but with failed/restarting workers or open breakers — ring
+        successors are covering), or ``"failing"`` (no healthy worker:
+        requests are being rejected).
+        """
+        supervisor = self._supervisor
+        healthy = supervisor.healthy_ids()
+        failed = supervisor.failed_ids()
+        restarting = supervisor.restarting_ids()
+        with self._admission_lock:
+            model_breakers = dict(self._model_breakers)
+        open_breakers = sorted(
+            [f"worker:{wid}" for wid, b in self._worker_breakers.items()
+             if b.state != "closed"]
+            + [f"model:{mid}" for mid, b in model_breakers.items()
+               if b.state != "closed"])
+        if not healthy:
+            status = "failing"
+        elif failed or restarting or open_breakers:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
+            "status": status,
             "n_workers": self.n_workers,
-            "healthy_workers": len(self._supervisor.healthy_ids()),
-            "total_restarts": self._supervisor.total_restarts,
+            "healthy_workers": len(healthy),
+            "failed_workers": failed,
+            "restarting_workers": restarting,
+            "open_breakers": open_breakers,
+            "total_restarts": supervisor.total_restarts,
         }
 
     # -- routing and admission --------------------------------------------
-    def _route(self, model_id: str):
-        """The live shard owner for ``model_id`` (+ whether re-routed)."""
+    def _route(self, model_id: str, exclude=frozenset()):
+        """The live shard owner for ``model_id`` (+ whether re-routed).
+
+        Routing avoids, in order of willingness to relax: dead/failed
+        workers (always), the caller's per-request exclusions (workers
+        that already failed this request), and workers whose breaker is
+        open.  If avoiding everything suspect leaves no candidate, the
+        softer exclusions are dropped tier by tier — a fleet down to its
+        last live worker still routes to it.
+        """
+        handles = self._supervisor.handles
         healthy = set(self._supervisor.healthy_ids())
         if not healthy:
+            if set(self._supervisor.failed_ids()) == set(handles):
+                raise WorkerFailedError(
+                    "every fleet worker has failed permanently")
             raise FleetOverloadedError(
                 "no healthy fleet workers (restarts in progress)",
                 retry_after=1.0)
-        dead = set(self._supervisor.handles) - healthy
+        dead = set(handles) - healthy
+        open_workers = {wid for wid, b in self._worker_breakers.items()
+                        if b.state == "open"}
         owner = self.ring.assign(model_id)
-        target = owner if owner in healthy \
-            else self.ring.assign(model_id, exclude=dead)
-        return self._supervisor.handles[target], target != owner
+        for avoid in (dead | set(exclude) | open_workers,
+                      dead | set(exclude),
+                      dead):
+            if owner not in avoid:
+                return handles[owner], False
+            try:
+                target = self.ring.assign(model_id, exclude=avoid)
+            except LookupError:
+                continue
+            return handles[target], True
+        raise FleetOverloadedError(  # unreachable: tier 3 always routes
+            f"no routable worker for model {model_id!r}", retry_after=0.5)
+
+    def _model_breaker(self, model_id: str):
+        """The (lazily cloned) per-model breaker, or ``None``."""
+        if self.breaker is None:
+            return None
+        with self._admission_lock:
+            breaker = self._model_breakers.get(model_id)
+            if breaker is None:
+                breaker = self.breaker.clone()
+                self._model_breakers[model_id] = breaker
+            return breaker
 
     def _admit(self, model_id: str, handle, rerouted: bool) -> None:
         """Bounded admission; raises FleetOverloadedError when full."""

@@ -26,10 +26,12 @@ import threading
 import time
 from queue import Empty
 
+from repro.resilience.faults import inject as _inject
 from repro.runtime import start_process, start_worker
 from repro.serving.fleet.worker import worker_main
 
-__all__ = ["Supervisor", "WorkerCrashedError", "WorkerHandle"]
+__all__ = ["Supervisor", "WorkerCrashedError", "WorkerFailedError",
+           "WorkerHandle"]
 
 #: Handle states, in lifecycle order.
 STATES = ("starting", "healthy", "failed", "closed")
@@ -40,12 +42,32 @@ class WorkerCrashedError(RuntimeError):
 
     Retryable: the supervisor is already restarting the worker and the
     frontend re-routes its shard meanwhile, so an immediate retry lands
-    on a live successor.
+    on a live successor.  ``worker_id`` (when known) lets a retry policy
+    exclude the dead worker from its next routing attempt.
     """
 
-    def __init__(self, message: str, retry_after: float = 0.5):
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.5,
+                 worker_id=None):
         super().__init__(message)
         self.retry_after = retry_after
+        self.worker_id = worker_id
+
+
+class WorkerFailedError(RuntimeError):
+    """The worker was given up on after exhausting ``max_restarts``.
+
+    **Not** retryable against the same worker: the supervisor will never
+    respawn it, so callers must fail fast (the frontend permanently
+    routes the failed worker's shard to ring successors instead).
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, worker_id=None):
+        super().__init__(message)
+        self.worker_id = worker_id
 
 
 class _PendingReply:
@@ -96,7 +118,8 @@ class WorkerHandle:
         # them retryably rather than leaving their callers parked until
         # the request timeout.
         self.fail_pending(WorkerCrashedError(
-            f"worker {self.worker_id} restarted; retry"))
+            f"worker {self.worker_id} restarted; retry",
+            worker_id=self.worker_id))
         # Heartbeat stats describe the previous (dead) incarnation — a
         # stale pid or latency profile must not survive into the new one.
         self.last_stats = {}
@@ -149,6 +172,10 @@ class WorkerHandle:
     # -- request plumbing --------------------------------------------------
     def submit(self, kind: str, request_id: int, *payload) -> _PendingReply:
         """Enqueue a request and return the reply slot to wait on."""
+        # Chaos hook: a "delay" plan entry sleeps here, deterministically
+        # stalling the submit (a slow/contended queue); no-op otherwise.
+        _inject("queue.submit", worker=self.worker_id,
+                model=(payload[0] if payload else None))
         reply = _PendingReply()
         with self._lock:
             self._pending[request_id] = reply
@@ -158,8 +185,19 @@ class WorkerHandle:
             with self._lock:
                 self._pending.pop(request_id, None)
             raise WorkerCrashedError(
-                f"worker {self.worker_id} is unreachable: {exc}") from exc
+                f"worker {self.worker_id} is unreachable: {exc}",
+                worker_id=self.worker_id) from exc
         return reply
+
+    def forget(self, request_id: int) -> None:
+        """Drop one pending slot (caller gave up waiting on it).
+
+        Without this, a request that times out frontend-side would leak
+        its ``_PendingReply`` until the worker's (possibly never-coming)
+        answer arrives or the incarnation dies.
+        """
+        with self._lock:
+            self._pending.pop(request_id, None)
 
     def in_flight(self) -> int:
         with self._lock:
@@ -180,7 +218,21 @@ class WorkerHandle:
     def mark_crashed(self) -> None:
         self.fail_pending(WorkerCrashedError(
             f"worker {self.worker_id} (pid {self.pid}) died; "
-            f"its shard is being restarted"))
+            f"its shard is being restarted", worker_id=self.worker_id))
+        self._stop_dispatcher()
+        self._drop_queues()
+
+    def mark_failed(self) -> None:
+        """Give up on this worker permanently (``max_restarts`` spent).
+
+        In-flight requests fail *fast* with the non-retryable
+        :class:`WorkerFailedError` — retrying against a worker that will
+        never come back would only burn the caller's deadline.
+        """
+        self.state = "failed"
+        self.fail_pending(WorkerFailedError(
+            f"worker {self.worker_id} failed permanently after "
+            f"{self.restarts} restarts", worker_id=self.worker_id))
         self._stop_dispatcher()
         self._drop_queues()
 
@@ -266,17 +318,30 @@ class Supervisor:
                     continue
                 if handle.is_alive():
                     continue
-                handle.mark_crashed()
                 handle.restarts += 1
                 self.total_restarts += 1
                 if handle.restarts > self.max_restarts:
-                    handle.state = "failed"
+                    # Give up *before* failing the pending requests so
+                    # they see the terminal (non-retryable) error, not a
+                    # "being restarted" promise that will never be kept.
+                    handle.mark_failed()
                     continue
+                handle.mark_crashed()
                 handle.spawn()
 
     def healthy_ids(self) -> list:
         return [worker_id for worker_id, handle in self.handles.items()
                 if handle.state == "healthy" and handle.is_alive()]
+
+    def failed_ids(self) -> list:
+        return [worker_id for worker_id, handle in self.handles.items()
+                if handle.state == "failed"]
+
+    def restarting_ids(self) -> list:
+        """Workers between a crash and their replacement's ready
+        handshake (plus initial boot)."""
+        return [worker_id for worker_id, handle in self.handles.items()
+                if handle.state == "starting"]
 
     def close(self) -> None:
         if self._closed:

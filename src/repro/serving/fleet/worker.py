@@ -35,7 +35,13 @@ worker -> frontend::
     ("result", request_id, scores, None)   success
     ("result", request_id, None, (etype, msg))   failure, by value
     ("heartbeat", worker_id, stats)        periodic observability push
-    ("bye", worker_id)                     graceful-exit acknowledgement
+    ("bye", worker_id, drained)            graceful-exit acknowledgement
+
+Chaos hooks (:func:`repro.resilience.faults.inject`, no-ops unless a
+fault plan is active): ``worker.request`` fires as each score request is
+picked up (``crash`` plans hard-exit here), ``worker.reply`` fires just
+before a result is sent back (``drop`` plans suppress the reply, so the
+frontend observes a timeout against a live worker).
 
 Errors cross the process boundary as ``(exception type name, message)``
 pairs — never pickled exception objects, whose round-trip behaviour is
@@ -50,6 +56,7 @@ import threading
 import time
 from collections import deque
 
+from repro.resilience.faults import inject as _inject
 from repro.serving.artifacts import ModelStore
 from repro.serving.service import ScoringService
 
@@ -171,13 +178,16 @@ def worker_main(worker_id: str, store_root: str, shard, request_q,
             started = time.perf_counter()
 
             def deliver(scores, error, request_id=request_id,
-                        started=started):
+                        model_id=model_id, started=started):
                 latency = time.perf_counter() - started
                 with state.lock:
                     state.requests += 1
                     state.latencies.append(latency)
                     if error is not None:
                         state.errors += 1
+                if _inject("worker.reply", worker=worker_id,
+                           model=model_id) == "drop":
+                    return  # chaos: the reply vanishes on the wire
                 if error is not None:
                     response_q.put(("result", request_id, None,
                                     _encode_error(error)))
@@ -185,6 +195,9 @@ def worker_main(worker_id: str, store_root: str, shard, request_q,
                     response_q.put(("result", request_id, scores, None))
 
             try:
+                # Chaos hook: "crash" plans hard-exit the process here —
+                # mid-request, before the reply, exactly like SIGKILL.
+                _inject("worker.request", worker=worker_id, model=model_id)
                 service.submit(model_id, X, deliver)
             except Exception as exc:
                 # Validation failed before the queue: deliver by hand.
@@ -192,10 +205,11 @@ def worker_main(worker_id: str, store_root: str, shard, request_q,
     finally:
         # Graceful drain: close() answers everything already queued (the
         # submit callbacks flush those results out), then the worker
-        # acknowledges and exits.
-        service.close()
+        # acknowledges — reporting whether the drain was clean — and
+        # exits.
+        drained = bool(service.close())
         stop_heartbeat.set()
         try:
-            response_q.put(("bye", worker_id))
+            response_q.put(("bye", worker_id, drained))
         except Exception:
             pass

@@ -19,8 +19,12 @@ Endpoints
 Every error — client mistakes *and* unexpected server faults — is a
 structured JSON body ``{"error": ...}`` with the right status code (400
 malformed request, 404 unknown model/path, 503 + ``Retry-After`` for
-fleet backpressure, 500 for anything unexpected); an HTML traceback page
-never leaks to a client.
+fleet backpressure / crash windows / open breakers, 504 for a request
+that timed out against a live worker or exhausted its deadline, 500 for
+anything unexpected); an HTML traceback page never leaks to a client.
+``GET /healthz`` reports the fleet's three-state verdict: ``ok`` and
+``degraded`` answer 200 (degraded = still serving, through ring
+successors), ``failing`` answers 503 (no healthy worker).
 
 The server is ``http.server.ThreadingHTTPServer`` — one thread per
 connection — so concurrent ``/score`` requests land in the service's
@@ -45,9 +49,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 import repro
+from repro.resilience import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFault,
+    RequestTimeoutError,
+)
 from repro.serving.artifacts import ArtifactError
 from repro.serving.fleet.frontend import FleetOverloadedError, ScoringFleet
-from repro.serving.fleet.supervisor import WorkerCrashedError
+from repro.serving.fleet.supervisor import WorkerCrashedError, \
+    WorkerFailedError
 from repro.serving.service import ScoringService
 
 __all__ = ["build_server", "serve", "shutdown_all"]
@@ -124,10 +135,18 @@ class _ServingHandler(BaseHTTPRequestHandler):
                 "version": repro.__version__,
                 "models": self.service.models(),
             }
+            code = 200
             health = getattr(self.service, "health", None)
             if callable(health):  # fleet mode: worker liveness summary
-                payload["fleet"] = health()
-            self._send_json(200, payload)
+                fleet = health()
+                payload["fleet"] = fleet
+                payload["status"] = fleet.get("status", "ok")
+                if payload["status"] == "failing":
+                    # "degraded" still serves (ring successors cover);
+                    # "failing" means requests are being rejected — a
+                    # load balancer must take this instance out.
+                    code = 503
+            self._send_json(code, payload)
         elif self.path == "/stats":
             self._send_json(200, self.service.stats())
         elif self.path == "/models":
@@ -192,13 +211,31 @@ class _ServingHandler(BaseHTTPRequestHandler):
         except KeyError as exc:
             self._send_error_json(404, str(exc.args[0] if exc.args else exc))
             return
-        except (FleetOverloadedError, WorkerCrashedError) as exc:
+        except (FleetOverloadedError, WorkerCrashedError, CircuitOpenError,
+                InjectedFault) as exc:
             # Backpressure / recovery: explicit retryable reject.  The
             # Retry-After hint tells well-behaved clients when the queue
-            # (or the restarted worker) is expected to have room again.
+            # (or the restarted worker, or the open breaker) is expected
+            # to have room again.
             retry_after = getattr(exc, "retry_after", 0.5)
             self._send_error_json(
                 503, str(exc), headers={"Retry-After": f"{retry_after:g}"})
+            return
+        except (RequestTimeoutError, DeadlineExceededError) as exc:
+            # The worker is alive but the answer did not arrive in time
+            # (slow, lost reply, or the caller's deadline ran out):
+            # gateway-timeout semantics, distinct from the 503 crash
+            # window so clients and breakers can tell slow from dead.
+            headers = None
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                headers = {"Retry-After": f"{retry_after:g}"}
+            self._send_error_json(504, str(exc), headers=headers)
+            return
+        except WorkerFailedError as exc:
+            # Permanent: the shard's worker exhausted its restart budget
+            # and nothing can cover for it.  Not retryable — 500.
+            self._send_error_json(500, str(exc))
             return
         except (ValueError, TypeError, RuntimeError, ArtifactError) as exc:
             self._send_error_json(400, str(exc))

@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.faults import inject as _inject
 from repro.runtime import snapshot as _runtime_snapshot
 from repro.runtime import start_worker
 from repro.serving.artifacts import ModelStore
@@ -270,6 +271,10 @@ class ScoringService:
         )
         stats["kernel_cache"] = cache_stats()
         stats["runtime"] = self._runtime
+        stats["closed"] = self._closed
+        stats["draining"] = bool(
+            self._closed and self._scorer is not None
+            and self._scorer.is_alive())
         return stats
 
     # -- scorer thread ----------------------------------------------------
@@ -305,6 +310,7 @@ class ScoringService:
                     return
                 batch = self._take_batch()
             try:
+                _inject("service.score", model=batch[0].model_id)
                 model = self.get_model(batch[0].model_id)
                 score = _score_fn(model)
                 with self._score_lock:
@@ -332,29 +338,35 @@ class ScoringService:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self, timeout: float = 10.0) -> None:
+    def close(self, timeout: float = 10.0) -> bool:
         """Graceful shutdown: drain the queue, then join the scorer.
 
         Every request admitted before (or racing) ``close`` is still
         answered — the scorer keeps taking batches until the queue is
         empty and only then exits — while new submissions raise
         ``RuntimeError``.  The scorer thread is *joined*, not abandoned:
-        after ``close`` returns no scoring work is in flight, so tests
+        after a clean ``close`` no scoring work is in flight, so tests
         and fleet workers can tear a service down without dropping
         requests or leaking a daemon thread into the next test.
         Idempotent; ``timeout`` bounds the join (a scorer stuck inside a
         model's predict cannot be cancelled — it is a daemon thread, so
         interpreter exit never hangs on it).
+
+        Returns ``True`` only when the drain actually completed — the
+        scorer exited and the queue is empty within ``timeout``.  A
+        ``False`` return means requests may still be in flight (a wedged
+        predict, a too-small timeout); while draining, ``stats()``
+        reports ``draining: True``.
         """
         with self._queue_cond:
-            if self._closed:
-                scorer = None
-            else:
-                self._closed = True
-                scorer = self._scorer
+            self._closed = True
+            scorer = self._scorer
             self._queue_cond.notify_all()
         if scorer is not None:
             scorer.join(timeout=timeout)
+            if scorer.is_alive():
+                return False
+        return not self._queue
 
     def __enter__(self) -> "ScoringService":
         return self

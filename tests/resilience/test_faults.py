@@ -1,0 +1,156 @@
+"""Tests for repro.resilience.faults — the seeded fault-injection plan.
+
+Everything here is in-process: plan parsing, trigger arithmetic, filter
+matching, seeded ranges, and runtime activation.  The end-to-end chaos
+runs (real worker crashes under a plan) live in test_chaos_fleet.py.
+"""
+
+import os
+
+import pytest
+
+from repro.resilience import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    InjectedFault,
+    active_injector,
+    clear_injectors,
+    inject,
+    parse_plan,
+)
+from repro.runtime import RunContext
+
+
+@pytest.fixture(autouse=True)
+def _isolated_injectors():
+    clear_injectors()
+    yield
+    clear_injectors()
+
+
+class TestParsePlan:
+    def test_empty_specs(self):
+        assert parse_plan(None) == []
+        assert parse_plan("") == []
+        assert parse_plan("   ") == []
+
+    def test_minimal_clause_gets_kind_defaults(self):
+        (entry,) = parse_plan("crash@3")
+        assert entry["kind"] == "crash"
+        assert entry["site"] == "worker.request"
+        assert entry["at"] == 3
+        assert entry["times"] == 1
+
+    def test_full_grammar(self):
+        (entry,) = parse_plan("delay@2x5:0.25,model=hbos,worker=w1")
+        assert entry == {"kind": "delay", "site": "queue.submit",
+                         "at": 2, "times": 5, "seconds": 0.25,
+                         "filters": {"model": "hbos", "worker": "w1"}}
+
+    def test_site_override_and_multiple_clauses(self):
+        entries = parse_plan("error@1,site=harness.cell; drop@2,model=pca")
+        assert [e["site"] for e in entries] == ["harness.cell",
+                                                "worker.reply"]
+
+    def test_seeded_range_survives_parsing(self):
+        (entry,) = parse_plan("crash@2-6")
+        assert entry["at"] == (2, 6)
+
+    def test_json_list_form(self):
+        entries = parse_plan('[{"kind": "slow", "at": 1, "seconds": 0.2}]')
+        assert entries[0]["site"] == "service.score"
+        assert entries[0]["seconds"] == 0.2
+
+    @pytest.mark.parametrize("bad", [
+        "explode@1",                 # unknown kind
+        "crash",                     # no trigger
+        "crash@0",                   # at is 1-based
+        "crash@zz",                  # non-integer
+        "crash@5-2",                 # empty range
+        "delay@1:abc",               # bad seconds
+        "crash@1,oops",              # filter is not key=value
+        "crash@1,site=nowhere",      # unknown site
+    ])
+    def test_malformed_plans_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_plan(bad)
+
+
+class TestFaultInjector:
+    def test_error_fires_on_the_nth_matching_event(self):
+        injector = FaultInjector("error@3,site=store.load")
+        injector.apply("store.load", model="a")
+        injector.apply("store.load", model="a")
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.apply("store.load", model="a")
+        assert excinfo.value.retry_after > 0
+        injector.apply("store.load", model="a")  # fires exactly once
+
+    def test_times_widens_the_firing_window(self):
+        injector = FaultInjector("error@2x2,site=store.load")
+        injector.apply("store.load")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.apply("store.load")
+        injector.apply("store.load")
+
+    def test_filters_only_count_matching_events(self):
+        injector = FaultInjector("error@2,model=hbos,site=store.load")
+        injector.apply("store.load", model="pca")   # not counted
+        injector.apply("store.load", model="hbos")  # match 1
+        injector.apply("store.load", model="pca")   # not counted
+        with pytest.raises(InjectedFault):
+            injector.apply("store.load", model="hbos")  # match 2: fires
+
+    def test_drop_returns_marker(self):
+        injector = FaultInjector("drop@1")
+        assert injector.apply("worker.reply") == "drop"
+        assert injector.apply("worker.reply") is None
+
+    def test_seeded_range_is_deterministic(self):
+        a = FaultInjector("crash@2-9", seed=5)
+        b = FaultInjector("crash@2-9", seed=5)
+        c = FaultInjector("crash@2-9", seed=6)
+        at = a.entries[0]["at"]
+        assert 2 <= at <= 9
+        assert b.entries[0]["at"] == at
+        # A different seed draws a different (but fixed) trigger point.
+        assert isinstance(c.entries[0]["at"], int)
+
+    def test_unseeded_range_resolves_to_low_end(self):
+        injector = FaultInjector("crash@4-8", seed=None)
+        assert injector.entries[0]["at"] in range(4, 9)
+
+    def test_stats_expose_trigger_state(self):
+        injector = FaultInjector("drop@1")
+        injector.apply("worker.reply")
+        (entry,) = injector.stats()
+        assert entry["matched"] == 1
+        assert entry["fired"] == 1
+
+
+class TestRuntimeActivation:
+    def test_no_plan_means_noop(self):
+        assert active_injector() is None
+        assert inject("store.load", model="x") is None
+
+    def test_plan_activates_through_run_context(self):
+        with RunContext(faults="error@1,site=store.load", seed=0):
+            with pytest.raises(InjectedFault):
+                inject("store.load")
+
+    def test_plan_activates_through_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "error@1,site=harness.cell")
+        with pytest.raises(InjectedFault):
+            inject("harness.cell")
+
+    def test_injector_cached_so_counters_accumulate(self):
+        with RunContext(faults="error@2,site=store.load", seed=0):
+            inject("store.load")             # match 1 — no fire
+            assert active_injector() is active_injector()
+            with pytest.raises(InjectedFault):
+                inject("store.load")         # match 2 — fires
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE == 17
+        assert CRASH_EXIT_CODE != os.EX_OK

@@ -1,0 +1,270 @@
+"""Tests for repro.resilience.policy — deadlines, retry, breakers.
+
+The headline property is the repo-wide determinism bar extended to
+failure handling: a RetryPolicy's backoff schedule is a pure function of
+``(seed, attempt)``, reproducible from the active RunContext seed alone,
+exactly like scores.
+"""
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    InjectedFault,
+    RequestTimeoutError,
+    RetryPolicy,
+    is_retryable,
+)
+from repro.runtime import RunContext
+from repro.serving import FleetOverloadedError, WorkerCrashedError, \
+    WorkerFailedError
+
+
+class TestDeadline:
+    def test_budget_counts_down_and_expires(self):
+        d = Deadline.after(0.05)
+        assert 0 < d.remaining() <= 0.05
+        assert not d.expired
+        time.sleep(0.06)
+        assert d.expired
+        with pytest.raises(DeadlineExceededError, match="0.05s deadline"):
+            d.check("scoring request")
+
+    def test_clamp_bounds_nested_waits(self):
+        d = Deadline.after(10.0)
+        assert d.clamp(2.0) == 2.0          # usual bound wins early
+        assert d.clamp(60.0) <= 10.0        # budget wins late
+
+    def test_start_is_idempotent(self):
+        d = Deadline(5.0)
+        first = d.start()._expires_at
+        time.sleep(0.01)
+        assert d.start()._expires_at == first
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        d = Deadline.coerce(1.5)
+        assert isinstance(d, Deadline) and d.budget == 1.5
+        assert Deadline.coerce(d) is d      # already-started passthrough
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline(0)
+
+    def test_deadline_exceeded_is_not_retryable(self):
+        assert not is_retryable(DeadlineExceededError("out of budget"))
+
+
+class TestRetryPolicySchedule:
+    def test_schedule_is_reproducible_for_a_seed(self):
+        policy = RetryPolicy(max_attempts=5, seed=42)
+        assert policy.schedule() == policy.schedule()
+        # A pure function of (seed, attempt): a fresh policy object with
+        # the same seed produces the identical schedule.
+        assert policy.schedule() == RetryPolicy(max_attempts=5,
+                                                seed=42).schedule()
+
+    def test_schedule_differs_across_seeds(self):
+        a = RetryPolicy(max_attempts=6, seed=0).schedule()
+        b = RetryPolicy(max_attempts=6, seed=1).schedule()
+        assert a != b
+
+    def test_seed_resolves_through_run_context(self):
+        policy = RetryPolicy(max_attempts=5)
+        with RunContext(seed=7):
+            in_ctx = policy.schedule()
+        with RunContext(seed=7):
+            again = policy.schedule()
+        with RunContext(seed=8):
+            other = policy.schedule()
+        assert in_ctx == again
+        assert in_ctx != other
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5, jitter=0.0, seed=0)
+        assert policy.schedule() == (0.1, 0.2, 0.4, 0.5, 0.5, 0.5, 0.5)
+
+    def test_retry_after_hint_is_a_floor(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0, seed=0)
+        assert policy.delay(0) == pytest.approx(0.01)
+        assert policy.delay(0, retry_after=3.0) == 3.0
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                             jitter=0.25, seed=123)
+        for delay in policy.schedule(10):
+            assert 1.0 <= delay <= 1.25
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-1)
+
+    def test_params_roundtrip(self):
+        policy = RetryPolicy(max_attempts=7, base_delay=0.2, seed=3)
+        clone = RetryPolicy(**policy.get_params())
+        assert clone.schedule() == policy.schedule()
+
+
+class TestRetryPolicyCall:
+    def test_retries_retryable_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise InjectedFault("transient")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0,
+                             seed=0)
+        assert policy.call(flaky, sleep=slept.append) == "ok"
+        assert len(calls) == 3
+        # InjectedFault carries retry_after=0.05, which floors the
+        # otherwise-smaller 0.01/0.02 exponential backoff.
+        assert slept == [0.05, 0.05]
+
+    def test_non_retryable_raises_immediately(self):
+        calls = []
+
+        def bug():
+            calls.append(1)
+            raise ValueError("real bug")
+
+        policy = RetryPolicy(max_attempts=5, seed=0)
+        with pytest.raises(ValueError):
+            policy.call(bug, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(InjectedFault):
+            policy.call(lambda: (_ for _ in ()).throw(InjectedFault("x")),
+                        sleep=lambda _: None)
+
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        # The retry pause would outlive the budget: re-raise instead of
+        # sleeping into certain failure.
+        policy = RetryPolicy(max_attempts=5, base_delay=60.0, jitter=0.0,
+                             seed=0)
+        deadline = Deadline.after(0.2)
+        start = time.monotonic()
+        with pytest.raises(InjectedFault):
+            policy.call(
+                lambda: (_ for _ in ()).throw(InjectedFault("slow")),
+                deadline=deadline)
+        assert time.monotonic() - start < 1.0
+
+    def test_on_retry_observability_hook(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(InjectedFault):
+            policy.call(lambda: (_ for _ in ()).throw(InjectedFault("x")),
+                        sleep=lambda _: None,
+                        on_retry=lambda a, e, d: seen.append((a, d)))
+        assert seen == [(0, 0.05), (1, 0.05)]  # the retry_after floor
+
+
+class TestRetryability:
+    @pytest.mark.parametrize("exc", [
+        FleetOverloadedError("full", retry_after=1.0),
+        WorkerCrashedError("died"),
+        RequestTimeoutError("slow"),
+        CircuitOpenError("open"),
+        InjectedFault("chaos"),
+    ])
+    def test_transient_errors_opt_in(self, exc):
+        assert is_retryable(exc)
+
+    @pytest.mark.parametrize("exc", [
+        DeadlineExceededError("budget"),
+        WorkerFailedError("permanent"),
+        ValueError("user error"),
+        KeyError("missing model"),
+    ])
+    def test_final_errors_do_not(self, exc):
+        assert not is_retryable(exc)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_success()            # success resets the streak
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.acquire("w0")
+        assert excinfo.value.retry_after > 0
+        assert is_retryable(excinfo.value)
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.05,
+                                 half_open_max=1)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.06)
+        assert breaker.state == "half_open"
+        assert breaker.allow()              # the single probe slot
+        assert not breaker.allow()          # concurrent probes rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats()["opened"] == 2
+
+    def test_stats_counters(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.allow()
+        stats = breaker.stats()
+        assert stats["state"] == "open"
+        assert stats["successes"] == 1
+        assert stats["failures"] == 2
+        assert stats["opened"] == 1
+        assert stats["rejected"] == 1
+
+    def test_reset_overrides(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0)
+
+    def test_clone_gets_fresh_state(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        clone = breaker.clone()
+        assert breaker.state == "open"
+        assert clone.state == "closed"
+        assert clone.failure_threshold == 1

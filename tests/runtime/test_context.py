@@ -203,7 +203,8 @@ class TestSerialisation:
         assert snap["context"]["num_threads"] == 2
         assert snap["resolved"]["num_threads"] == 2
         assert set(snap["resolved"]) == {"seed", "num_threads", "n_jobs",
-                                         "cache", "cache_dir", "dtype"}
+                                         "cache", "cache_dir", "dtype",
+                                         "faults"}
 
     def test_describe_sources(self, monkeypatch):
         monkeypatch.setenv("REPRO_NUM_THREADS", "5")

@@ -22,8 +22,10 @@ from repro.serving import (
     ScoringService,
     save_model,
 )
+from repro.resilience import is_retryable
 from repro.serving.fleet.frontend import _rebuild_error
-from repro.serving.fleet.supervisor import WorkerCrashedError
+from repro.serving.fleet.supervisor import WorkerCrashedError, \
+    WorkerFailedError
 from repro.serving.fleet.worker import latency_summary
 
 MODELS = (("hbos", "HBOS"), ("iforest", "IForest"),
@@ -217,6 +219,55 @@ class TestCrashRecovery:
                 handle.state = "healthy"
 
 
+class TestGiveUp:
+    """Past ``max_restarts`` the supervisor stops reviving a worker:
+    its state becomes terminal ``failed``, its shard is covered by ring
+    successors permanently, and only when *every* worker has failed do
+    requests surface the non-retryable :class:`WorkerFailedError`."""
+
+    def test_worker_past_restart_budget_fails_permanently(
+            self, store, X, expected):
+        with ScoringFleet(store, n_workers=2, max_restarts=0,
+                          **FAST) as fleet:
+            stats = fleet.stats()
+            victim = stats["sharding"]["assignments"]["hbos"]
+            os.kill(stats["workers"][victim]["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if fleet.stats()["workers"][victim]["state"] == "failed":
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("worker never reached failed state")
+            health = fleet.health()
+            assert health["status"] == "degraded"
+            assert health["failed_workers"] == [victim]
+            # The failed worker's shard reroutes to the survivor — with
+            # exact scores, permanently (no restart is coming).
+            got = _score_with_retry(fleet, "hbos", X)
+            assert np.array_equal(got, expected["hbos"])
+            assert fleet.stats()["workers"][victim]["state"] == "failed"
+
+    def test_all_workers_failed_is_nonretryable(self, store, X):
+        with ScoringFleet(store, n_workers=1, max_restarts=0,
+                          **FAST) as fleet:
+            os.kill(fleet.stats()["workers"]["w0"]["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if fleet.stats()["workers"]["w0"]["state"] == "failed":
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("worker never reached failed state")
+            assert fleet.health()["status"] == "failing"
+            with pytest.raises(WorkerFailedError,
+                               match="failed permanently") as excinfo:
+                fleet.score("hbos", X)
+            # Terminal: retrying cannot help, and policies must not.
+            assert not is_retryable(excinfo.value)
+            assert is_retryable(WorkerCrashedError("w0 died"))
+
+
 class TestObservability:
     def test_stats_shape(self, store, X):
         with ScoringFleet(store, n_workers=2, **FAST) as fleet:
@@ -255,8 +306,33 @@ class TestObservability:
     def test_health_summary(self, store):
         with ScoringFleet(store, n_workers=2, **FAST) as fleet:
             health = fleet.health()
-            assert health == {"n_workers": 2, "healthy_workers": 2,
+            assert health == {"status": "ok", "n_workers": 2,
+                              "healthy_workers": 2, "failed_workers": [],
+                              "restarting_workers": [], "open_breakers": [],
                               "total_restarts": 0}
+
+    def test_health_degraded_while_worker_recovers(self, store):
+        with ScoringFleet(store, n_workers=2, **FAST) as fleet:
+            handle = fleet._supervisor.handles["w0"]
+            handle.state = "starting"
+            try:
+                health = fleet.health()
+            finally:
+                handle.state = "healthy"
+            assert health["status"] == "degraded"
+            assert health["restarting_workers"] == ["w0"]
+            assert fleet.health()["status"] == "ok"
+
+    def test_health_failing_without_healthy_workers(self, store):
+        with ScoringFleet(store, n_workers=1, **FAST) as fleet:
+            handle = fleet._supervisor.handles["w0"]
+            handle.state = "crashed"
+            try:
+                health = fleet.health()
+            finally:
+                handle.state = "healthy"
+            assert health["status"] == "failing"
+            assert health["healthy_workers"] == 0
 
     def test_latency_summary_percentiles(self):
         assert latency_summary([]) == {

@@ -272,8 +272,39 @@ class TestFleetMode:
     def test_healthz_includes_fleet_summary(self, fleet_server):
         status, payload = request_json(fleet_server, "/healthz")
         assert status == 200
+        assert payload["status"] == "ok"
         assert payload["fleet"]["n_workers"] == 2
         assert payload["fleet"]["healthy_workers"] == 2
+
+    def test_healthz_degraded_still_answers_200(self, fleet_server):
+        """A degraded fleet (ring successors covering) keeps serving —
+        the load balancer must NOT eject it, so /healthz stays 200."""
+        handle = fleet_server.service._supervisor.handles["w0"]
+        handle.state = "starting"
+        try:
+            status, payload = request_json(fleet_server, "/healthz")
+        finally:
+            handle.state = "healthy"
+        assert status == 200
+        assert payload["status"] == "degraded"
+        assert payload["fleet"]["restarting_workers"] == ["w0"]
+
+    def test_healthz_failing_answers_503(self, fleet_server):
+        handles = fleet_server.service._supervisor.handles
+        old = {wid: h.state for wid, h in handles.items()}
+        for handle in handles.values():
+            handle.state = "crashed"
+        try:
+            port = fleet_server.server_address[1]
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=10)
+            payload = json.load(info.value)
+        finally:
+            for wid, handle in handles.items():
+                handle.state = old[wid]
+        assert info.value.code == 503
+        assert payload["status"] == "failing"
 
     def test_scores_match_in_process_service(self, fleet_server,
                                              small_dataset, store_root):

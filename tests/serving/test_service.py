@@ -340,6 +340,24 @@ class TestGracefulClose:
         service.close()
         assert service.closed
 
+    def test_close_reports_drain_outcome(self, store, X):
+        """close() returns True once the queue drained and the scorer
+        joined — the signal fleet workers forward in their bye message."""
+        service = ScoringService(store)
+        assert service.close() is True
+        # A second close on an already-drained service is still True.
+        assert service.close() is True
+
+    def test_stats_expose_draining_state(self, store, X):
+        service = ScoringService(store)
+        stats = service.stats()
+        assert stats["closed"] is False
+        assert stats["draining"] is False
+        service.close()
+        stats = service.stats()
+        assert stats["closed"] is True
+        assert stats["draining"] is False  # drained: scorer has exited
+
     def test_queue_depth_in_stats(self, store, X):
         with ScoringService(store) as service:
             service.score("hbos", X[:3])

@@ -329,6 +329,23 @@ class TestServe:
         args = build_parser().parse_args(["serve", str(tmp_path)])
         assert args.workers is None
 
+    def test_serve_parses_request_timeout(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", str(tmp_path), "--workers", "2",
+             "--request-timeout", "2.5"])
+        assert args.request_timeout == 2.5
+        args = build_parser().parse_args(["serve", str(tmp_path)])
+        assert args.request_timeout is None
+
+    def test_serve_request_timeout_requires_fleet_mode(self, tmp_path):
+        target = tmp_path / "m"
+        run_cli("save", "HBOS", "glass", str(target),
+                "--max-samples", "150", "--max-features", "6")
+        code, text = run_cli("serve", str(target),
+                             "--request-timeout", "2")
+        assert code == 2
+        assert "--workers" in text
+
 
 class TestJsonListings:
     def test_list_models_json(self):
